@@ -1,0 +1,63 @@
+"""A1 — ablation: balance selection vs. connectivity selection.
+
+§3 argues that conventional connectivity/closeness-driven merging
+produces hard-to-test data paths.  This bench runs Algorithm 1 twice —
+once selecting candidates by the C/O balance principle, once by
+closeness — and compares testability quality, self-loop counts and
+sequential depth across the three table benchmarks.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from _support import record_row, record_text
+from repro.bench import load
+from repro.cost import CostModel
+from repro.synth import SynthesisParams, run_ours
+from repro.testability import analyze, sequential_depth_metric
+
+_ROWS = []
+
+
+@pytest.mark.parametrize("selection", ["balance", "connectivity"])
+@pytest.mark.parametrize("name", ["ex", "dct", "diffeq"])
+def test_ablation_selection(benchmark, name, selection):
+    dfg = load(name)
+
+    def run():
+        return run_ours(dfg, SynthesisParams(selection=selection),
+                        CostModel(bits=8))
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    design = result.design
+    row = {"benchmark": name, "selection": selection, **design.summary(),
+           "quality": round(analyze(design.datapath).design_quality(), 3),
+           "seq_depth": sequential_depth_metric(design.datapath)}
+    benchmark.extra_info.update(row)
+    record_row("ablation_balance", row)
+    _ROWS.append(row)
+    design.validate()
+
+
+def test_ablation_balance_wins_on_average(benchmark):
+    """Averaged over the benchmarks, balance selection yields better
+    node testability than closeness selection."""
+    if not _ROWS:
+        pytest.skip("rows not collected in this run")
+    text_lines = ["bench  selection     mods regs mux loops quality depth"]
+    for row in _ROWS:
+        text_lines.append(
+            f"{row['benchmark']:<6} {row['selection']:<12} "
+            f"{row['modules']:>4} {row['registers']:>4} {row['muxes']:>3} "
+            f"{row['self_loops']:>5} {row['quality']:>7} "
+            f"{row['seq_depth']:>5}")
+    text = benchmark.pedantic(lambda: "\n".join(text_lines), rounds=1, iterations=1)
+    record_text("ablation_balance.txt", text)
+    print("\n" + text)
+
+    def mean_quality(selection):
+        rows = [r for r in _ROWS if r["selection"] == selection]
+        return sum(r["quality"] for r in rows) / len(rows)
+
+    assert mean_quality("balance") >= mean_quality("connectivity") - 0.02

@@ -1,0 +1,65 @@
+"""A2 — ablation: SR1/SR2 merge-sort rescheduling vs. naive ordering.
+
+§4.3 decides every ambiguous merge order with the C/O enhancement
+strategy.  This bench runs Algorithm 1 with the strategy on and with a
+take-the-first-feasible-order policy, and compares the time-domain
+sequential depth (total variable lifetime span) of the results.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from _support import record_row, record_text
+from repro.bench import load
+from repro.cost import CostModel
+from repro.synth import SynthesisParams, run_ours
+from repro.testability import analyze
+
+_ROWS = []
+
+
+def _span(design) -> int:
+    return sum(lt.span for lt in design.lifetimes.values())
+
+
+@pytest.mark.parametrize("strategy", ["enhance", "first"])
+@pytest.mark.parametrize("name", ["ex", "dct", "diffeq"])
+def test_ablation_order_strategy(benchmark, name, strategy):
+    dfg = load(name)
+
+    def run():
+        return run_ours(dfg, SynthesisParams(order_strategy=strategy),
+                        CostModel(bits=8))
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    design = result.design
+    row = {"benchmark": name, "strategy": strategy, **design.summary(),
+           "lifetime_span": _span(design),
+           "quality": round(analyze(design.datapath).design_quality(), 3)}
+    benchmark.extra_info.update(row)
+    record_row("ablation_resched", row)
+    _ROWS.append(row)
+    design.validate()
+
+
+def test_ablation_enhance_no_worse(benchmark):
+    """The enhancement strategy never increases total lifetime span."""
+    if not _ROWS:
+        pytest.skip("rows not collected in this run")
+    lines = ["bench  strategy steps span quality"]
+    for row in _ROWS:
+        lines.append(f"{row['benchmark']:<6} {row['strategy']:<8} "
+                     f"{row['steps']:>5} {row['lifetime_span']:>4} "
+                     f"{row['quality']:>7}")
+    text = benchmark.pedantic(lambda: "\n".join(lines), rounds=1, iterations=1)
+    record_text("ablation_resched.txt", text)
+    print("\n" + text)
+    for name in ("ex", "dct", "diffeq"):
+        enhance = [r for r in _ROWS
+                   if r["benchmark"] == name and r["strategy"] == "enhance"]
+        naive = [r for r in _ROWS
+                 if r["benchmark"] == name and r["strategy"] == "first"]
+        if enhance and naive:
+            assert (enhance[0]["lifetime_span"]
+                    <= naive[0]["lifetime_span"] + 2)

@@ -1,0 +1,75 @@
+"""A3 — scan extension: coverage vs. overhead across scan policies.
+
+Beyond the paper's non-scan setting: compares no scan, loop-breaking
+partial scan and full scan on the synthesised Ex design, using the same
+ATPG budgets throughout.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from _support import record_row, record_text
+from repro.atpg import ATPGConfig, RandomPhaseConfig, run_atpg
+from repro.bench import load
+from repro.gates import expand_to_gates
+from repro.rtl import generate_rtl
+from repro.scan import evaluate_scan, select_full, select_loop_breaking
+from repro.synth import run_ours
+
+_ROWS = []
+
+
+def _config():
+    return ATPGConfig(
+        random=RandomPhaseConfig(max_sequences=12, saturation=4,
+                                 sequence_length=20),
+        max_frames=8, max_backtracks=24)
+
+
+@pytest.mark.parametrize("policy", ["none", "loop-breaking", "full"])
+def test_scan_policy(benchmark, policy):
+    design = run_ours(load("ex")).design
+    netlist = expand_to_gates(generate_rtl(design, 4))
+
+    def run():
+        if policy == "none":
+            atpg = run_atpg(netlist, _config())
+            return {"coverage": atpg.fault_coverage,
+                    "cycles": atpg.test_cycles, "chain": 0,
+                    "overhead_mm2": 0.0}
+        registers = (select_loop_breaking(design.datapath)
+                     if policy == "loop-breaking"
+                     else select_full(design.datapath))
+        scan = evaluate_scan(netlist, registers, _config())
+        return {"coverage": scan.fault_coverage,
+                "cycles": scan.test_cycles, "chain": scan.chain_length,
+                "overhead_mm2": scan.overhead_mm2}
+
+    metrics = benchmark.pedantic(run, rounds=1, iterations=1)
+    row = {"policy": policy, **{k: round(v, 3) if isinstance(v, float)
+                                else v for k, v in metrics.items()}}
+    benchmark.extra_info.update(row)
+    record_row("ablation_scan", row)
+    _ROWS.append(row)
+    assert metrics["coverage"] > 60.0
+
+
+def test_scan_tradeoff_shape(benchmark):
+    if len(_ROWS) < 3:
+        pytest.skip("rows not collected in this run")
+    lines = ["policy         cov%  cycles chain overhead_mm2"]
+    for row in _ROWS:
+        lines.append(f"{row['policy']:<14} {row['coverage']:>5} "
+                     f"{row['cycles']:>6} {row['chain']:>5} "
+                     f"{row['overhead_mm2']:>8}")
+    text = benchmark.pedantic(lambda: "\n".join(lines),
+                              rounds=1, iterations=1)
+    record_text("ablation_scan.txt", text)
+    print("\n" + text)
+    by_policy = {r["policy"]: r for r in _ROWS}
+    # Overhead strictly grows with chain length; partial < full.
+    assert (by_policy["loop-breaking"]["overhead_mm2"]
+            < by_policy["full"]["overhead_mm2"])
+    assert (by_policy["full"]["coverage"]
+            >= by_policy["none"]["coverage"] - 2.0)

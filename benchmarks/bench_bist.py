@@ -1,0 +1,56 @@
+"""X3 — BIST session emulation across the synthesised designs.
+
+Plans BILBO sessions for each flow's Diffeq design (conflicted sessions
+= self-loops) and emulates the unit-level sessions with exact MISR
+aliasing accounting.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from _support import record_row, record_text
+from repro.bench import load
+from repro.bist import evaluate_design_bist, plan_bist
+from repro.harness import FLOW_ORDER, synthesize_flow
+
+_ROWS = []
+
+
+@pytest.mark.parametrize("flow", FLOW_ORDER)
+def test_bist_plan_and_sessions(benchmark, flow):
+    design = synthesize_flow("diffeq", flow, 4)
+
+    def run():
+        return evaluate_design_bist(design, bits=4, patterns=15)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    plan_summary = result.plan.summary()
+    row = {"flow": flow, **plan_summary,
+           "coverage": round(result.coverage, 2),
+           "aliased": result.aliased,
+           "cycles": result.test_cycles,
+           "overhead_mm2": round(result.overhead_mm2, 4)}
+    benchmark.extra_info.update(row)
+    record_row("bist", row)
+    _ROWS.append(row)
+    assert result.coverage > 60.0
+
+
+def test_bist_conflicts_track_self_loops(benchmark):
+    if not _ROWS:
+        pytest.skip("rows not collected in this run")
+    lines = ["flow       sessions confl  cov% aliased cycles overhead"]
+    for row in _ROWS:
+        lines.append(f"{row['flow']:<10} {row['sessions']:>8} "
+                     f"{row['conflicted']:>5} {row['coverage']:>5} "
+                     f"{row['aliased']:>7} {row['cycles']:>6} "
+                     f"{row['overhead_mm2']:>8}")
+    text = benchmark.pedantic(lambda: "\n".join(lines),
+                              rounds=1, iterations=1)
+    record_text("bist_sessions.txt", text)
+    print("\n" + text)
+    for row in _ROWS:
+        design = synthesize_flow("diffeq", row["flow"], 4)
+        self_loop_modules = {m for m, _ in design.datapath.self_loops()}
+        assert row["conflicted"] == len(self_loop_modules)

@@ -1,0 +1,68 @@
+"""X4 — coverage vs. test-budget curve (figure-style extension).
+
+Sweeps the random-phase budget on the synthesised Ex design and records
+the coverage curve for CAMAD vs. ours: the testability gap between the
+flows is exactly the horizontal distance between the two curves (a
+better design reaches any coverage level with fewer patterns).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from _support import record_row, record_text
+from repro.atpg import ATPGConfig, RandomPhaseConfig, run_atpg
+from repro.bench import load
+from repro.gates import expand_with_controller
+from repro.harness import synthesize_flow
+from repro.rtl import build_control_table, generate_rtl
+
+BUDGETS = (2, 6, 18)
+
+_ROWS = []
+
+
+def _netlist(flow):
+    design = synthesize_flow("ex", flow, 4)
+    rtl = generate_rtl(design, 4)
+    table = build_control_table(design, rtl)
+    return expand_with_controller(rtl, table)
+
+
+@pytest.mark.parametrize("sequences", BUDGETS)
+@pytest.mark.parametrize("flow", ["camad", "ours"])
+def test_budget_point(benchmark, flow, sequences):
+    netlist = _netlist(flow)
+    config = ATPGConfig(
+        random=RandomPhaseConfig(max_sequences=sequences,
+                                 saturation=sequences,
+                                 sequence_length=24),
+        deterministic=False)
+    result = benchmark.pedantic(run_atpg, args=(netlist, config),
+                                rounds=1, iterations=1)
+    row = {"flow": flow, "sequences": sequences,
+           "coverage": round(result.fault_coverage, 2),
+           "cycles": result.test_cycles}
+    benchmark.extra_info.update(row)
+    record_row("budget_curve", row)
+    _ROWS.append(row)
+    assert result.fault_coverage > 30.0
+
+
+def test_budget_curve_shape(benchmark):
+    if len(_ROWS) < 2 * len(BUDGETS):
+        pytest.skip("rows not collected in this run")
+    lines = ["flow    sequences  cov%"]
+    for row in sorted(_ROWS, key=lambda r: (r["flow"], r["sequences"])):
+        lines.append(f"{row['flow']:<7} {row['sequences']:>9} "
+                     f"{row['coverage']:>6}")
+    text = benchmark.pedantic(lambda: "\n".join(lines),
+                              rounds=1, iterations=1)
+    record_text("budget_curve.txt", text)
+    print("\n" + text)
+    # Coverage is monotone in budget for each flow.
+    for flow in ("camad", "ours"):
+        curve = [r["coverage"] for r in
+                 sorted((r for r in _ROWS if r["flow"] == flow),
+                        key=lambda r: r["sequences"])]
+        assert curve == sorted(curve)

@@ -1,0 +1,52 @@
+"""X1 — the extra benchmarks §5 mentions: EWF, Paulin, Tseng.
+
+The paper gives no tables for these ("due to the space limitation");
+this bench runs all four flows at 4 bits and records the same row
+structure so the comparison extends beyond the three published tables.
+EWF, much larger than the others, is run at the synthesis level for all
+flows plus a single ATPG spot check.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from _support import cell_config, record_row, record_text
+from repro.bench import load
+from repro.harness import FLOW_ORDER, render_summary, run_cell, synthesize_flow
+from repro.testability import analyze, sequential_depth_metric
+
+_CELLS = []
+
+
+@pytest.mark.parametrize("name", ["paulin", "tseng"])
+@pytest.mark.parametrize("flow", FLOW_ORDER)
+def test_extra_atpg_cell(benchmark, name, flow):
+    cell = benchmark.pedantic(run_cell, args=(name, flow, cell_config(4)),
+                              rounds=1, iterations=1)
+    row = cell.row()
+    benchmark.extra_info.update(row)
+    record_row("extra", row)
+    _CELLS.append(cell)
+    assert cell.atpg.fault_coverage > 50.0
+
+
+@pytest.mark.parametrize("flow", FLOW_ORDER)
+def test_ewf_synthesis(benchmark, flow):
+    design = benchmark.pedantic(synthesize_flow, args=("ewf", flow, 8),
+                                rounds=1, iterations=1)
+    quality = analyze(design.datapath).design_quality()
+    row = {"benchmark": "ewf", "flow": flow, **design.summary(),
+           "quality": round(quality, 3),
+           "seq_depth": sequential_depth_metric(design.datapath)}
+    benchmark.extra_info.update(row)
+    record_row("extra_ewf", row)
+    assert design.binding.module_count() <= len(design.dfg)
+
+
+def test_extra_render(benchmark):
+    if not _CELLS:
+        pytest.skip("cells not collected in this run")
+    text = benchmark.pedantic(lambda: render_summary(_CELLS), rounds=1, iterations=1)
+    record_text("extra_benchmarks.txt", text)
+    print("\n" + text)

@@ -1,0 +1,34 @@
+"""Figure 2 — the schedule of Ex after the synthesis algorithm.
+
+Regenerates the step-by-step schedule with the module and register
+sharing groups the figure's caption describes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from _support import record_row, record_text
+from repro.harness import (render_lifetimes, render_schedule, render_sharing,
+                           synthesize_flow)
+from repro.sched import ops_by_step
+
+
+def test_fig2_ex_schedule(benchmark):
+    design = benchmark.pedantic(synthesize_flow, args=("ex", "ours", 8),
+                                rounds=1, iterations=1)
+    text = "\n".join([render_schedule(design), "", render_sharing(design),
+                      "", render_lifetimes(design)])
+    record_text("fig2_ex_schedule.txt", text)
+    print("\n" + text)
+    record_row("fig2", {"steps": design.num_steps,
+                        "schedule": {op: step for op, step
+                                     in sorted(design.steps.items())}})
+    # Shape checks mirroring the figure: multiplications lead, the
+    # subtraction chain follows, each shared module's ops sit in
+    # distinct steps.
+    grouped = ops_by_step(design.steps)
+    assert "N21" in grouped[0] or "N22" in grouped[0]
+    for module, ops in design.binding.modules().items():
+        steps = [design.steps[o] for o in ops]
+        assert len(set(steps)) == len(steps)

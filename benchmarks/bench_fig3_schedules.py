@@ -1,0 +1,23 @@
+"""Figure 3 — the schedules of Dct (a) and Diffeq (b) after synthesis."""
+
+from __future__ import annotations
+
+import pytest
+
+from _support import record_row, record_text
+from repro.harness import render_schedule, render_sharing, synthesize_flow
+
+
+@pytest.mark.parametrize("name", ["dct", "diffeq"])
+def test_fig3_schedule(benchmark, name):
+    design = benchmark.pedantic(synthesize_flow, args=(name, "ours", 8),
+                                rounds=1, iterations=1)
+    text = render_schedule(design) + "\n\n" + render_sharing(design)
+    record_text(f"fig3_{name}_schedule.txt", text)
+    print("\n" + text)
+    record_row("fig3", {"benchmark": name, "steps": design.num_steps})
+    for module, ops in design.binding.modules().items():
+        steps = [design.steps[o] for o in ops]
+        assert len(set(steps)) == len(steps)
+    if name == "diffeq":
+        assert design.dfg.loop_condition == "cond"

@@ -1,0 +1,69 @@
+"""X2 — the (k, α, β) parameter study.
+
+§5: "it seems that the chosen parameters do not influence so much the
+final results."  This bench sweeps the paper's three parameter settings
+plus extremes over the three table benchmarks and records how much the
+synthesised structure actually moves.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from _support import record_row, record_text
+from repro.bench import load
+from repro.cost import CostModel
+from repro.synth import SynthesisParams, run_ours
+from repro.testability import analyze
+
+PARAM_GRID = [(3, 2.0, 1.0), (3, 10.0, 1.0), (3, 1.0, 10.0),
+              (1, 2.0, 1.0), (6, 2.0, 1.0)]
+
+_ROWS = []
+
+
+@pytest.mark.parametrize("params", PARAM_GRID,
+                         ids=lambda p: f"k{p[0]}a{p[1]}b{p[2]}")
+@pytest.mark.parametrize("name", ["ex", "dct", "diffeq"])
+def test_param_sweep(benchmark, name, params):
+    k, alpha, beta = params
+    dfg = load(name)
+
+    def run():
+        return run_ours(dfg, SynthesisParams(k=k, alpha=alpha, beta=beta),
+                        CostModel(bits=8))
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    design = result.design
+    quality = analyze(design.datapath).design_quality()
+    row = {"benchmark": name, "k": k, "alpha": alpha, "beta": beta,
+           **design.summary(), "quality": round(quality, 3),
+           "iterations": result.iterations}
+    benchmark.extra_info.update(row)
+    record_row("param_sweep", row)
+    _ROWS.append(row)
+    design.validate()
+
+
+def test_param_sweep_stability(benchmark):
+    """The paper's three published settings land on similar structure."""
+    if not _ROWS:
+        pytest.skip("rows not collected in this run")
+    lines = ["bench  k  alpha beta steps mods regs mux quality"]
+    for row in _ROWS:
+        lines.append(f"{row['benchmark']:<6} {row['k']:>2} "
+                     f"{row['alpha']:>5} {row['beta']:>4} "
+                     f"{row['steps']:>5} {row['modules']:>4} "
+                     f"{row['registers']:>4} {row['muxes']:>3} "
+                     f"{row['quality']:>7}")
+    text = benchmark.pedantic(lambda: "\n".join(lines), rounds=1, iterations=1)
+    record_text("param_sweep.txt", text)
+    print("\n" + text)
+    for name in ("ex", "dct", "diffeq"):
+        published = [r for r in _ROWS if r["benchmark"] == name
+                     and (r["k"], r["alpha"], r["beta"]) in
+                     {(3, 2.0, 1.0), (3, 10.0, 1.0), (3, 1.0, 10.0)}]
+        if len(published) >= 2:
+            spread = (max(r["registers"] for r in published)
+                      - min(r["registers"] for r in published))
+            assert spread <= 4

@@ -1,0 +1,26 @@
+"""Benchmark-suite configuration: clear the shared output once per run."""
+
+from __future__ import annotations
+
+import pytest
+
+from _support import OUT_DIR
+
+
+def pytest_configure(config):
+    rows = OUT_DIR / "rows.jsonl"
+    if rows.exists():
+        rows.unlink()
+
+
+@pytest.fixture
+def one_shot(benchmark):
+    """Run a callable exactly once under pytest-benchmark timing.
+
+    ATPG runs are deterministic but expensive; one round is both honest
+    and affordable.
+    """
+    def runner(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                                  rounds=1, iterations=1)
+    return runner

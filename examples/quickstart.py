@@ -1,0 +1,68 @@
+"""Quickstart: synthesise a small behaviour and inspect the result.
+
+Builds a behavioural data-flow graph with the public builder API, runs
+the paper's integrated test-synthesis algorithm, prints the schedule,
+the sharing it found and the testability profile, and finally verifies
+the generated RTL against the behavioural reference.
+
+Run:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro import DFGBuilder, SynthesisParams, analyze, synthesize
+from repro.cost import CostModel
+from repro.harness import render_schedule, render_sharing
+from repro.rtl import (build_control_table, evaluate_dfg, generate_rtl,
+                       simulate_rtl)
+
+
+def build_behaviour():
+    """A little polynomial evaluator: out = (a*x + b)*x + c."""
+    b = DFGBuilder("poly2")
+    b.inputs("a", "b", "c", "x")
+    b.op("N1", "*", "t1", "a", "x")
+    b.op("N2", "+", "t2", "t1", "b")
+    b.op("N3", "*", "t3", "t2", "x")
+    b.op("N4", "+", "out", "t3", "c")
+    b.outputs("out")
+    return b.build()
+
+
+def main() -> None:
+    dfg = build_behaviour()
+    print(f"behaviour: {dfg!r}")
+
+    result = synthesize(dfg, SynthesisParams(k=3, alpha=2.0, beta=1.0),
+                        CostModel(bits=8))
+    design = result.design
+    print(f"\n{len(result.history)} mergers applied")
+    print(render_schedule(design))
+    print()
+    print(render_sharing(design))
+
+    print("\nTestability profile (registers):")
+    analysis = analyze(design.datapath)
+    for register in design.datapath.registers():
+        print(f"  {analysis.node(register.node_id)}")
+    print(f"  design quality: {analysis.design_quality():.3f}")
+
+    # Verify the generated RTL behaves like the behaviour itself.
+    bits = 8
+    rtl = generate_rtl(design, bits)
+    table = build_control_table(design, rtl)
+    rng = random.Random(0)
+    for trial in range(5):
+        inputs = {v.name: rng.randrange(1 << bits) for v in dfg.inputs()}
+        expected = evaluate_dfg(dfg, inputs, bits)["out"]
+        got = simulate_rtl(design, rtl, table, inputs).outputs["out_out"]
+        status = "ok" if got == expected else "MISMATCH"
+        print(f"  RTL check {trial}: out={got:3d} expected={expected:3d} "
+              f"[{status}]")
+        assert got == expected
+
+
+if __name__ == "__main__":
+    main()

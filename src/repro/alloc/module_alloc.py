@@ -1,0 +1,81 @@
+"""Module (functional-unit) binding for a scheduled DFG.
+
+Two binders are provided:
+
+* :func:`min_module_binding` — the step-interval analogue of left-edge:
+  per unit class, operations are packed onto the minimum number of
+  units (no two same-step operations share one);
+* :func:`connectivity_module_binding` — CAMAD-style: the same packing
+  framework, but among the units free at an operation's step it prefers
+  the one whose existing operations share the most operand variables,
+  which minimises multiplexer inputs (and, as the paper observes,
+  tends to produce hard-to-test designs).
+"""
+
+from __future__ import annotations
+
+from ..dfg import DFG, unit_class, UnitClass
+
+
+def _ops_by_class(dfg: DFG) -> dict[UnitClass, list[str]]:
+    grouping: dict[UnitClass, list[str]] = {}
+    for op in dfg:
+        grouping.setdefault(unit_class(op.kind), []).append(op.op_id)
+    return grouping
+
+
+def _class_prefix(cls: UnitClass) -> str:
+    return {UnitClass.MULTIPLIER: "MUL", UnitClass.ALU: "ALU",
+            UnitClass.SHIFTER: "SHF", UnitClass.WIRE: "WIRE"}[cls]
+
+
+def min_module_binding(dfg: DFG, steps: dict[str, int]) -> dict[str, str]:
+    """Bind ops to the fewest units per class (first-fit by step)."""
+    binding: dict[str, str] = {}
+    for cls, ops in sorted(_ops_by_class(dfg).items(), key=lambda kv: kv[0].value):
+        prefix = _class_prefix(cls)
+        unit_steps: list[set[int]] = []
+        for op_id in sorted(ops, key=lambda o: (steps[o], o)):
+            placed = False
+            for index, used in enumerate(unit_steps):
+                if steps[op_id] not in used:
+                    used.add(steps[op_id])
+                    binding[op_id] = f"{prefix}{index}"
+                    placed = True
+                    break
+            if not placed:
+                binding[op_id] = f"{prefix}{len(unit_steps)}"
+                unit_steps.append({steps[op_id]})
+    return binding
+
+
+def connectivity_module_binding(dfg: DFG, steps: dict[str, int]) -> dict[str, str]:
+    """Bind ops preferring units that share operand variables.
+
+    Uses the same number of units as :func:`min_module_binding` whenever
+    first-fit achieves it, but chooses *which* free unit by connection
+    sharing instead of index order.
+    """
+    binding: dict[str, str] = {}
+    for cls, ops in sorted(_ops_by_class(dfg).items(), key=lambda kv: kv[0].value):
+        prefix = _class_prefix(cls)
+        unit_steps: list[set[int]] = []
+        unit_vars: list[set[str]] = []
+        for op_id in sorted(ops, key=lambda o: (steps[o], o)):
+            op = dfg.operation(op_id)
+            touched = set(op.src_variables())
+            if op.dst is not None:
+                touched.add(op.dst)
+            free = [i for i, used in enumerate(unit_steps)
+                    if steps[op_id] not in used]
+            if free:
+                chosen = max(free,
+                             key=lambda i: (len(unit_vars[i] & touched), -i))
+                unit_steps[chosen].add(steps[op_id])
+                unit_vars[chosen] |= touched
+                binding[op_id] = f"{prefix}{chosen}"
+            else:
+                binding[op_id] = f"{prefix}{len(unit_steps)}"
+                unit_steps.append({steps[op_id]})
+                unit_vars.append(touched)
+    return binding

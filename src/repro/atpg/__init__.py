@@ -1,0 +1,26 @@
+"""Test substrate: stuck-at faults, fault simulation, random + PODEM ATPG."""
+
+from .engine import ATPGConfig, run_atpg
+from .fault_sim import FaultSimulator
+from .faults import Fault, full_fault_list, sample_faults
+from .podem import PodemEngine, PodemResult
+from .random_tpg import RandomPhaseConfig, random_phase, random_sequence
+from .results import ATPGResult
+from .unroll import UnrolledCircuit, unroll
+
+__all__ = [
+    "ATPGConfig",
+    "ATPGResult",
+    "Fault",
+    "FaultSimulator",
+    "PodemEngine",
+    "PodemResult",
+    "RandomPhaseConfig",
+    "UnrolledCircuit",
+    "full_fault_list",
+    "random_phase",
+    "random_sequence",
+    "run_atpg",
+    "sample_faults",
+    "unroll",
+]

@@ -1,0 +1,71 @@
+"""Single stuck-at fault lists with light equivalence collapsing.
+
+The fault universe is stuck-at-0/1 on every gate output (the classic
+output-fault model).  Collapsing drops the structurally useless
+entries: faults on constant generators that match the constant, and
+faults on BUF/NOT outputs (equivalent to a fault on the driver —
+dominance through an inverter flips polarity, but either way the
+driver-site fault covers it).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..gates.netlist import GateNetlist, GateType
+
+
+@dataclass(frozen=True, order=True)
+class Fault:
+    """Stuck-at fault on a gate's output net."""
+
+    gid: int
+    stuck: int  # 0 or 1
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return f"g{self.gid}/sa{self.stuck}"
+
+
+def full_fault_list(netlist: GateNetlist, collapse: bool = True) -> list[Fault]:
+    """Enumerate the (collapsed) stuck-at fault universe of a netlist."""
+    faults: list[Fault] = []
+    for gate in netlist.gates:
+        if gate.gtype == GateType.CONST0:
+            faults.append(Fault(gate.gid, 1))
+            if not collapse:
+                faults.append(Fault(gate.gid, 0))
+            continue
+        if gate.gtype == GateType.CONST1:
+            faults.append(Fault(gate.gid, 0))
+            if not collapse:
+                faults.append(Fault(gate.gid, 1))
+            continue
+        if collapse and gate.gtype in (GateType.BUF, GateType.NOT):
+            continue
+        faults.append(Fault(gate.gid, 0))
+        faults.append(Fault(gate.gid, 1))
+    return faults
+
+
+def sample_faults(faults: list[Fault], fraction: float,
+                  seed: int = 0) -> list[Fault]:
+    """Deterministic random sample of a fault list (for 16-bit runs).
+
+    Args:
+        faults: the full list.
+        fraction: in (0, 1]; 1.0 returns the list unchanged.
+        seed: sampling seed.
+
+    Returns:
+        A sorted sample of ``ceil(fraction * len(faults))`` faults.
+    """
+    import math
+    import random
+
+    if not 0.0 < fraction <= 1.0:
+        raise ValueError(f"fraction must be in (0, 1], got {fraction}")
+    if fraction == 1.0:
+        return list(faults)
+    rng = random.Random(seed)
+    count = math.ceil(fraction * len(faults))
+    return sorted(rng.sample(faults, count))

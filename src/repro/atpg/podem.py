@@ -1,0 +1,311 @@
+"""PODEM deterministic test generation over the unrolled model.
+
+Classic PODEM (Goel 1981) adapted to the good/faulty twin-machine
+encoding: every line carries a pair of 3-valued signals (good machine,
+faulty machine), a D is a line where the two are binary and different,
+the fault site's faulty value is pinned to the stuck value in every
+frame, and decisions are made only at primary inputs with trail-based
+undo.  Effort is counted in implications (gate re-evaluations) and
+backtracks — the units the experiment harness reports as test
+generation effort.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import ATPGError
+from .faults import Fault
+from .unroll import (OP_AND, OP_BUF, OP_CONST0, OP_CONST1, OP_NAND, OP_NOR,
+                     OP_NOT, OP_OR, OP_PI, OP_XNOR, OP_XOR, UnrolledCircuit)
+
+ZERO, ONE, X = 0, 1, 2
+
+#: Controlling value and output inversion per gate op (None = no
+#: controlling value, e.g. XOR).
+_CONTROL = {
+    OP_AND: (ZERO, False), OP_NAND: (ZERO, True),
+    OP_OR: (ONE, False), OP_NOR: (ONE, True),
+    OP_BUF: (None, False), OP_NOT: (None, True),
+    OP_XOR: (None, False), OP_XNOR: (None, True),
+}
+
+
+def _eval3(op: int, values: list[int]) -> int:
+    """3-valued evaluation of one gate."""
+    if op == OP_CONST0:
+        return ZERO
+    if op == OP_CONST1:
+        return ONE
+    if op == OP_BUF:
+        return values[0]
+    if op == OP_NOT:
+        v = values[0]
+        return X if v == X else 1 - v
+    if op in (OP_AND, OP_NAND):
+        if ZERO in values:
+            result = ZERO
+        elif X in values:
+            result = X
+        else:
+            result = ONE
+        if op == OP_NAND and result != X:
+            result = 1 - result
+        return result
+    if op in (OP_OR, OP_NOR):
+        if ONE in values:
+            result = ONE
+        elif X in values:
+            result = X
+        else:
+            result = ZERO
+        if op == OP_NOR and result != X:
+            result = 1 - result
+        return result
+    if op in (OP_XOR, OP_XNOR):
+        if X in values:
+            return X
+        result = 0
+        for v in values:
+            result ^= v
+        if op == OP_XNOR:
+            result = 1 - result
+        return result
+    raise ATPGError(f"cannot evaluate op {op}")
+
+
+@dataclass
+class PodemStats:
+    """Effort counters of one generation attempt."""
+
+    implications: int = 0
+    backtracks: int = 0
+    decisions: int = 0
+
+    @property
+    def effort(self) -> int:
+        """Scalar effort: implications plus heavily-weighted backtracks."""
+        return self.implications + 10 * self.backtracks
+
+
+@dataclass
+class PodemResult:
+    """Outcome of one PODEM run."""
+
+    success: bool
+    #: (frame, input name) -> bit, for assigned PIs only.
+    assignment: dict[tuple[int, str], int] = field(default_factory=dict)
+    stats: PodemStats = field(default_factory=PodemStats)
+    aborted: bool = False
+
+
+class PodemEngine:
+    """Runs PODEM for faults on one unrolled circuit."""
+
+    def __init__(self, model: UnrolledCircuit,
+                 max_backtracks: int = 64,
+                 max_implications: int = 2_000_000) -> None:
+        self.model = model
+        self.max_backtracks = max_backtracks
+        self.max_implications = max_implications
+
+    # ------------------------------------------------------------------
+    def generate(self, fault: Fault) -> PodemResult:
+        """Attempt to generate a test for ``fault``."""
+        model = self.model
+        size = model.size
+        self.good = [X] * size
+        self.faulty = [X] * size
+        self.sites = set(model.site_uids.get(fault.gid, []))
+        if not self.sites:
+            raise ATPGError(f"fault {fault} has no site in the model")
+        self.stuck = fault.stuck
+        self.stats = PodemStats()
+        self._trail: list[tuple[int, int, int]] = []
+        self._pin_and_init()
+
+        decisions: list[tuple[int, int, bool, int]] = []
+        result = PodemResult(False, stats=self.stats)
+
+        while True:
+            if self.stats.backtracks > self.max_backtracks \
+                    or self.stats.implications > self.max_implications:
+                result.aborted = True
+                return result
+            if self._detected():
+                result.success = True
+                result.assignment = {
+                    model.pi_names[uid]: self.good[uid]
+                    for uid in model.pi_names if self.good[uid] != X}
+                return result
+            objective = self._objective()
+            if objective is not None:
+                pi = self._backtrace(*objective)
+                if pi is not None:
+                    uid, value = pi
+                    decisions.append((uid, value, False, len(self._trail)))
+                    self.stats.decisions += 1
+                    self._assign(uid, value)
+                    continue
+            # Dead end: flip the most recent untried decision.
+            flipped = False
+            while decisions:
+                uid, value, tried, mark = decisions.pop()
+                self._undo_to(mark)
+                self.stats.backtracks += 1
+                if not tried:
+                    decisions.append((uid, 1 - value, True, mark))
+                    self._assign(uid, 1 - value)
+                    flipped = True
+                    break
+            if not flipped:
+                return result
+
+    # ------------------------------------------------------------------
+    # Value maintenance
+    # ------------------------------------------------------------------
+    def _pin_and_init(self) -> None:
+        """Evaluate constants and pin the faulty value at every site."""
+        model = self.model
+        for uid in range(model.size):
+            op = model.ops[uid]
+            if op == OP_CONST0:
+                self.good[uid] = ZERO
+                self.faulty[uid] = ZERO
+            elif op == OP_CONST1:
+                self.good[uid] = ONE
+                self.faulty[uid] = ONE
+            elif op != OP_PI:
+                values_g = [self.good[f] for f in model.fanins[uid]]
+                values_f = [self.faulty[f] for f in model.fanins[uid]]
+                self.good[uid] = _eval3(op, values_g)
+                self.faulty[uid] = _eval3(op, values_f)
+                self.stats.implications += 1
+            if uid in self.sites:
+                self.faulty[uid] = self.stuck
+
+    def _assign(self, uid: int, value: int) -> None:
+        """Set a PI and propagate (event-driven, trail-recorded)."""
+        self._set(uid, value, value if uid not in self.sites else self.stuck)
+        queue = list(self.model.fanouts[uid])
+        while queue:
+            current = queue.pop()
+            op = self.model.ops[current]
+            values_g = [self.good[f] for f in self.model.fanins[current]]
+            values_f = [self.faulty[f] for f in self.model.fanins[current]]
+            new_g = _eval3(op, values_g)
+            new_f = (self.stuck if current in self.sites
+                     else _eval3(op, values_f))
+            self.stats.implications += 1
+            if new_g != self.good[current] or new_f != self.faulty[current]:
+                self._set(current, new_g, new_f)
+                queue.extend(self.model.fanouts[current])
+
+    def _set(self, uid: int, g: int, f: int) -> None:
+        self._trail.append((uid, self.good[uid], self.faulty[uid]))
+        self.good[uid] = g
+        self.faulty[uid] = f
+
+    def _undo_to(self, mark: int) -> None:
+        while len(self._trail) > mark:
+            uid, g, f = self._trail.pop()
+            self.good[uid] = g
+            self.faulty[uid] = f
+
+    # ------------------------------------------------------------------
+    # Objectives
+    # ------------------------------------------------------------------
+    def _detected(self) -> bool:
+        for uid in self.model.po_names:
+            g, f = self.good[uid], self.faulty[uid]
+            if g != X and f != X and g != f:
+                return True
+        return False
+
+    def _is_d(self, uid: int) -> bool:
+        g, f = self.good[uid], self.faulty[uid]
+        return g != X and f != X and g != f
+
+    def _objective(self) -> tuple[int, int] | None:
+        """Next (uid, good-value) objective, or None at a dead end."""
+        activated = any(self._is_d(uid) for uid in self.sites)
+        if not activated:
+            want = 1 - self.stuck
+            for uid in sorted(self.sites):
+                if self.good[uid] == X:
+                    return (uid, want)
+            return None  # every site blocked: activation impossible
+        frontier = self._d_frontier()
+        for uid in frontier:
+            if not self._x_path_to_po(uid):
+                continue
+            control, _ = _CONTROL.get(self.model.ops[uid], (None, False))
+            for fin in self.model.fanins[uid]:
+                if self.good[fin] == X:
+                    desired = ONE if control is None else 1 - control
+                    return (fin, desired)
+        return None
+
+    def _d_frontier(self) -> list[int]:
+        frontier = []
+        for uid in range(self.model.size):
+            if self.good[uid] != X and self.faulty[uid] != X \
+                    and self.good[uid] == self.faulty[uid]:
+                continue
+            if self._is_d(uid):
+                continue
+            if any(self._is_d(f) for f in self.model.fanins[uid]):
+                frontier.append(uid)
+        return frontier
+
+    def _x_path_to_po(self, uid: int) -> bool:
+        """Is there a path of not-fully-assigned lines to an output?"""
+        pos = self.model.po_set()
+        stack = [uid]
+        seen = {uid}
+        while stack:
+            current = stack.pop()
+            if current in pos:
+                return True
+            for fanout in self.model.fanouts[current]:
+                if fanout in seen:
+                    continue
+                g, f = self.good[fanout], self.faulty[fanout]
+                blocked = g != X and f != X and g == f
+                if not blocked:
+                    seen.add(fanout)
+                    stack.append(fanout)
+        return False
+
+    # ------------------------------------------------------------------
+    def _backtrace(self, uid: int, value: int) -> tuple[int, int] | None:
+        """Walk an objective back to an unassigned primary input."""
+        current, desired = uid, value
+        for _ in range(self.model.size + 1):
+            op = self.model.ops[current]
+            if op == OP_PI:
+                return (current, desired)
+            control, inverts = _CONTROL.get(op, (None, False))
+            if inverts:
+                desired = 1 - desired
+            x_inputs = [f for f in self.model.fanins[current]
+                        if self.good[f] == X]
+            if not x_inputs:
+                return None
+            depth = self.model.depth
+            if op in (OP_XOR, OP_XNOR):
+                # Fix the shallowest X input; others decide the parity.
+                current = min(x_inputs, key=lambda f: depth[f])
+                continue
+            if control is not None and desired == control:
+                # One controlling input suffices: take the easiest
+                # (shallowest) justification path.
+                current = min(x_inputs, key=lambda f: depth[f])
+                desired = control
+            else:
+                # Every input must be non-controlling: attack the
+                # hardest (deepest) one first so failures surface early.
+                current = max(x_inputs, key=lambda f: depth[f])
+                if control is not None:
+                    desired = 1 - control
+        return None

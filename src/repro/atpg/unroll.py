@@ -1,0 +1,92 @@
+"""Time-frame expansion: a combinational view of k clock cycles.
+
+The deterministic phase targets a fault in the unrolled model: every
+frame is a copy of the combinational logic, frame f's flip-flop outputs
+are buffers of frame f-1's D inputs, and frame 0 starts from the reset
+(all-zero) state — the same convention the fault simulator uses.  DFF
+outputs become explicit BUF nodes in every frame so that state-bit
+stuck-at faults have an injection site per frame.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..gates.netlist import GateNetlist, GateType
+
+#: Small-int gate codes used by the PODEM arrays.
+OP_CONST0, OP_CONST1, OP_PI, OP_BUF, OP_NOT, OP_AND, OP_OR, OP_NAND, \
+    OP_NOR, OP_XOR, OP_XNOR = range(11)
+
+_CODE = {
+    GateType.CONST0: OP_CONST0, GateType.CONST1: OP_CONST1,
+    GateType.INPUT: OP_PI, GateType.BUF: OP_BUF, GateType.NOT: OP_NOT,
+    GateType.AND: OP_AND, GateType.OR: OP_OR, GateType.NAND: OP_NAND,
+    GateType.NOR: OP_NOR, GateType.XOR: OP_XOR, GateType.XNOR: OP_XNOR,
+}
+
+
+@dataclass
+class UnrolledCircuit:
+    """Flattened combinational model of ``frames`` cycles."""
+
+    frames: int
+    ops: list[int] = field(default_factory=list)
+    fanins: list[tuple[int, ...]] = field(default_factory=list)
+    fanouts: list[list[int]] = field(default_factory=list)
+    #: Free primary inputs: uid -> (frame, input name).
+    pi_names: dict[int, tuple[int, str]] = field(default_factory=dict)
+    #: Observed outputs: uid -> (frame, output name).
+    po_names: dict[int, tuple[int, str]] = field(default_factory=dict)
+    #: Original gate id -> one uid per frame (fault-injection sites).
+    site_uids: dict[int, list[int]] = field(default_factory=dict)
+    #: Logic depth per uid (0 for sources) — backtrace guidance.
+    depth: list[int] = field(default_factory=list)
+
+    @property
+    def size(self) -> int:
+        return len(self.ops)
+
+    def po_set(self) -> set[int]:
+        return set(self.po_names)
+
+
+def unroll(netlist: GateNetlist, frames: int) -> UnrolledCircuit:
+    """Build the ``frames``-cycle combinational expansion."""
+    netlist.check_complete()
+    model = UnrolledCircuit(frames)
+
+    def new_node(op: int, fanins: tuple[int, ...]) -> int:
+        uid = len(model.ops)
+        model.ops.append(op)
+        model.fanins.append(fanins)
+        model.fanouts.append([])
+        model.depth.append(
+            1 + max(model.depth[f] for f in fanins) if fanins else 0)
+        for fin in fanins:
+            model.fanouts[fin].append(uid)
+        return uid
+
+    reset_uid = new_node(OP_CONST0, ())
+    input_name_of = {gid: name for name, gid in netlist.inputs.items()}
+    uid_of: dict[tuple[int, int], int] = {}
+    for frame in range(frames):
+        for gate in netlist.gates:
+            if gate.gtype == GateType.DFF:
+                if frame == 0:
+                    source = reset_uid
+                else:
+                    d_driver = gate.fanins[0]
+                    source = uid_of[(frame - 1, d_driver)]
+                uid = new_node(OP_BUF, (source,))
+            elif gate.gtype == GateType.INPUT:
+                uid = new_node(OP_PI, ())
+                model.pi_names[uid] = (frame, input_name_of[gate.gid])
+            else:
+                mapped = tuple(uid_of[(frame, f)] for f in gate.fanins)
+                uid = new_node(_CODE[gate.gtype], mapped)
+            uid_of[(frame, gate.gid)] = uid
+            model.site_uids.setdefault(gate.gid, []).append(uid)
+        for name, gid in netlist.outputs.items():
+            model.po_names[uid_of[(frame, gid)]] = (frame, name)
+    return model

@@ -1,0 +1,7 @@
+"""The paper's benchmark suite (§5), reconstructed and documented."""
+
+from .registry import (EXTENSION_BENCHMARKS, EXTRA_BENCHMARKS,
+                       TABLE_BENCHMARKS, load, names)
+
+__all__ = ["EXTENSION_BENCHMARKS", "EXTRA_BENCHMARKS", "TABLE_BENCHMARKS",
+           "load", "names"]

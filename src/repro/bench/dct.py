@@ -1,0 +1,62 @@
+"""The Dct benchmark: a portion of an 8-point DCT signal-flow graph.
+
+Reconstructed to be consistent with Table 2 of the paper (the original
+is from Krishnamoorthy & Nestor 1992): thirteen operations — additions
+N27, N29, N37, N42, N43, N44; subtractions N28, N30; multiplications
+N31, N33, N35, N38, N40 — over exactly the seventeen variables
+{a..j, p1..p4, q2..q4} of the CAMAD register row.  The structure is the
+natural DCT shape: an add/subtract butterfly stage (p values),
+coefficient multiplications (i, j carry the cosine factors) and an
+accumulation stage into the q outputs.
+"""
+
+from __future__ import annotations
+
+from ..dfg import DFG, DFGBuilder
+
+
+def build() -> DFG:
+    """Build the Dct data-flow graph."""
+    b = DFGBuilder("dct")
+    b.inputs("a", "b", "c", "d", "e", "f", "g", "h", "i", "j")
+    # Butterfly stage.
+    b.op("N27", "+", "p1", "a", "b")
+    b.op("N28", "-", "p2", "c", "d")
+    b.op("N29", "+", "p3", "e", "f")
+    b.op("N30", "-", "p4", "g", "h")
+    # Coefficient multiplications.
+    b.op("N31", "*", "q2", "p1", "i")
+    b.op("N33", "*", "q3", "p2", "j")
+    b.op("N35", "*", "q4", "p3", "i")
+    b.op("N38", "*", "p3", "p4", "j")   # p3 reused as a product temp
+    b.op("N40", "*", "p1", "p2", "i")   # p1 reused as a product temp
+    # Accumulation stage.
+    b.op("N37", "+", "q2", "q2", "p3")
+    b.op("N42", "+", "q3", "q3", "p1")
+    b.op("N43", "+", "q4", "q4", "p4")
+    b.op("N44", "+", "q2", "q2", "q3")
+    b.outputs("q2", "q3", "q4")
+    return b.build()
+
+
+#: Module groups Table 2 reports for the paper's algorithm.
+PAPER_OURS_MODULE_GROUPS = [
+    ("N31", "N40"),
+    ("N33", "N38"),
+    ("N35",),
+    ("N27", "N44"),
+    ("N29", "N37", "N43"),
+    ("N42",),
+    ("N28",),
+    ("N30",),
+]
+
+#: Register groups Table 2 reports for the paper's algorithm.
+PAPER_OURS_REGISTER_GROUPS = [
+    ("a", "j", "q2"),
+    ("c", "h", "q3"),
+    ("f", "p1"),
+    ("e", "p2"),
+    ("b", "i", "p3"),
+    ("d", "g", "p4", "q4"),
+]

@@ -1,0 +1,60 @@
+"""The Diffeq benchmark: the HAL differential-equation loop (Paulin).
+
+The classic second-order differential-equation solver::
+
+    while (x < a):
+        x1 = x + dx
+        u1 = u - 3*x*u*dx - 3*y*dx
+        y1 = y + u*dx
+        x, u, y = x1, u1, y1
+
+Node numbering and variable names follow Table 3 of the paper: six
+multiplications N26, N27, N29, N31, N33, N35 producing the temporaries
+b..g; ALU operations N25, N30 (the u1 accumulation), N34, N36; and the
+loop comparison N24 against the bound a1.  u1 is defined twice — one
+register holds the accumulating value, as in the paper's register rows.
+The loop back-edge lives in the control part (``loop('cond')``).
+"""
+
+from __future__ import annotations
+
+from ..dfg import DFG, DFGBuilder
+
+
+def build() -> DFG:
+    """Build the Diffeq data-flow graph (one loop-body iteration)."""
+    b = DFGBuilder("diffeq")
+    b.inputs("x", "y", "u", "dx", "a1")
+    b.op("N26", "*", "b", 3, "x")
+    b.op("N27", "*", "c", "u", "dx")
+    b.op("N29", "*", "d", 3, "y")
+    b.op("N31", "*", "e", "b", "c")
+    b.op("N33", "*", "f", "d", "dx")
+    b.op("N35", "*", "g", "u", "dx")
+    b.op("N25", "-", "u1", "u", "e")
+    b.op("N30", "-", "u1", "u1", "f")
+    b.op("N34", "+", "y1", "y", "g")
+    b.op("N36", "+", "x1", "x", "dx")
+    b.compare("N24", "<", "cond", "x1", "a1")
+    b.outputs("x1", "y1", "u1")
+    b.loop("cond")
+    return b.build()
+
+
+#: Module groups Table 3 reports for the paper's algorithm.
+PAPER_OURS_MODULE_GROUPS = [
+    ("N26", "N31", "N35"),
+    ("N27", "N29", "N33"),
+    ("N25", "N36"),
+    ("N30", "N34"),
+    ("N24",),
+]
+
+#: Register groups Table 3 reports for the paper's algorithm.
+PAPER_OURS_REGISTER_GROUPS = [
+    ("u", "u1", "e"),
+    ("x", "a1", "d", "g"),
+    ("y",),
+    ("y1", "b", "c", "f"),
+    ("x1",),
+]

@@ -1,0 +1,63 @@
+"""The EWF benchmark: fifth-order elliptic wave filter.
+
+The standard HLS benchmark has 34 operations (26 additions, 8
+multiplications) arranged in the characteristic long addition chains
+with multiplicative feedback taps.  The paper only mentions EWF in
+passing (§5, "We have tested our synthesis algorithm ... on EWF"),
+so this module provides a size- and shape-faithful reconstruction: 26
+adds, 8 mults, seven filter-state inputs (sv*), two coefficient-class
+inputs and a critical path of comparable depth to the published graph.
+"""
+
+from __future__ import annotations
+
+from ..dfg import DFG, DFGBuilder
+
+
+def build() -> DFG:
+    """Build the EWF data-flow graph."""
+    b = DFGBuilder("ewf")
+    b.inputs("inp", "sv2", "sv13", "sv18", "sv26", "sv33", "sv38", "sv39",
+             "k1", "k2")
+    # Input section.
+    b.op("A1", "+", "t1", "inp", "sv2")
+    b.op("A2", "+", "t2", "t1", "sv13")
+    b.op("A3", "+", "t3", "t2", "sv26")
+    b.op("M1", "*", "t4", "t3", "k1")
+    b.op("A4", "+", "t5", "t4", "sv13")
+    b.op("A5", "+", "t6", "t4", "sv26")
+    # Left biquad.
+    b.op("M2", "*", "t7", "t5", "k2")
+    b.op("A6", "+", "t8", "t7", "sv2")
+    b.op("A7", "+", "t9", "t8", "t1")
+    b.op("M3", "*", "t10", "t9", "k1")
+    b.op("A8", "+", "t11", "t10", "sv2")
+    b.op("A9", "+", "nsv2", "t11", "t8")
+    # Centre section.
+    b.op("A10", "+", "t12", "t6", "sv18")
+    b.op("M4", "*", "t13", "t12", "k2")
+    b.op("A11", "+", "t14", "t13", "sv18")
+    b.op("A12", "+", "nsv13", "t14", "t5")
+    b.op("A13", "+", "t15", "t14", "sv33")
+    b.op("M5", "*", "t16", "t15", "k1")
+    b.op("A14", "+", "nsv18", "t16", "t12")
+    # Right biquad.
+    b.op("A15", "+", "t17", "sv33", "sv38")
+    b.op("M6", "*", "t18", "t17", "k2")
+    b.op("A16", "+", "t19", "t18", "sv26")
+    b.op("A17", "+", "t20", "t19", "t15")
+    b.op("M7", "*", "t21", "t20", "k1")
+    b.op("A18", "+", "nsv26", "t21", "t19")
+    b.op("A19", "+", "t22", "t21", "sv39")
+    # Output section.
+    b.op("M8", "*", "t23", "t22", "k2")
+    b.op("A20", "+", "t24", "t23", "sv38")
+    b.op("A21", "+", "nsv33", "t24", "t17")
+    b.op("A22", "+", "t25", "t24", "sv39")
+    b.op("A23", "+", "nsv38", "t25", "t22")
+    b.op("A24", "+", "t26", "t25", "t23")
+    b.op("A25", "+", "nsv39", "t26", "sv39")
+    b.op("A26", "+", "outp", "t26", "t24")
+    b.outputs("outp", "nsv2", "nsv13", "nsv18", "nsv26", "nsv33", "nsv38",
+              "nsv39")
+    return b.build()

@@ -1,0 +1,62 @@
+"""Additional classic HLS benchmarks beyond the paper's six.
+
+These widen the evaluation surface for the extension benches and give
+downstream users ready-made inputs: an FIR filter tap, an IIR biquad
+section and an auto-regressive (AR) lattice stage — the other standard
+1990s high-level synthesis workloads.
+"""
+
+from __future__ import annotations
+
+from ..dfg import DFG, DFGBuilder
+
+
+def build_fir8() -> DFG:
+    """8-tap FIR filter: out = Σ x_i · k_i (8 mults, 7 adds)."""
+    b = DFGBuilder("fir8")
+    xs = [f"x{i}" for i in range(8)]
+    ks = [f"k{i}" for i in range(8)]
+    b.inputs(*xs, *ks)
+    for i in range(8):
+        b.op(f"M{i}", "*", f"p{i}", xs[i], ks[i])
+    b.op("A0", "+", "s0", "p0", "p1")
+    b.op("A1", "+", "s1", "p2", "p3")
+    b.op("A2", "+", "s2", "p4", "p5")
+    b.op("A3", "+", "s3", "p6", "p7")
+    b.op("A4", "+", "t0", "s0", "s1")
+    b.op("A5", "+", "t1", "s2", "s3")
+    b.op("A6", "+", "out", "t0", "t1")
+    b.outputs("out")
+    return b.build()
+
+
+def build_iir_biquad() -> DFG:
+    """Direct-form-II biquad: 4 mults, 4 adds, 1 state update chain."""
+    b = DFGBuilder("iir")
+    b.inputs("x", "w1", "w2", "b0", "b1", "a1")
+    b.op("M1", "*", "t1", "a1", "w1")
+    b.op("M2", "*", "t2", "b1", "w1")
+    b.op("A1", "-", "w0", "x", "t1")
+    b.op("M3", "*", "t3", "b0", "w0")
+    b.op("A2", "+", "t4", "t3", "t2")
+    b.op("M4", "*", "t5", "a1", "w2")
+    b.op("A3", "-", "w0", "w0", "t5")
+    b.op("A4", "+", "y", "t4", "w2")
+    b.outputs("y", "w0")
+    return b.build()
+
+
+def build_ar_lattice() -> DFG:
+    """One AR lattice stage: the standard 4-mult/2-add recursion."""
+    b = DFGBuilder("ar")
+    b.inputs("f_in", "g_in", "kf", "kg")
+    b.op("M1", "*", "t1", "kf", "g_in")
+    b.op("M2", "*", "t2", "kg", "f_in")
+    b.op("A1", "-", "f_out", "f_in", "t1")
+    b.op("A2", "-", "g_out", "g_in", "t2")
+    b.op("M3", "*", "t3", "kf", "f_out")
+    b.op("M4", "*", "t4", "kg", "g_out")
+    b.op("A3", "+", "e1", "t3", "g_in")
+    b.op("A4", "+", "e2", "t4", "f_in")
+    b.outputs("f_out", "g_out", "e1", "e2")
+    return b.build()

@@ -1,0 +1,28 @@
+"""The Paulin benchmark (HAL, Paulin/Knight/Girczyc DAC'86).
+
+The paper cites [12] for this benchmark but shows no table for it
+(§5: "tested ... on Paulin").  This reconstruction is the straight-line
+arithmetic kernel commonly used under that name: a multiply-heavy
+expression tree with a balanced add/subtract reduction, sized between
+Ex and Dct.
+"""
+
+from __future__ import annotations
+
+from ..dfg import DFG, DFGBuilder
+
+
+def build() -> DFG:
+    """Build the Paulin data-flow graph."""
+    b = DFGBuilder("paulin")
+    b.inputs("a", "b", "c", "d", "e", "f", "g", "h")
+    b.op("N1", "*", "t1", "a", "b")
+    b.op("N2", "*", "t2", "c", "d")
+    b.op("N3", "*", "t3", "e", "f")
+    b.op("N4", "*", "t4", "t1", "t2")
+    b.op("N5", "-", "t5", "t4", "t3")
+    b.op("N6", "+", "t6", "t5", "g")
+    b.op("N7", "-", "t7", "t6", "h")
+    b.op("N8", "+", "out", "t7", "t1")
+    b.outputs("out")
+    return b.build()

@@ -1,0 +1,47 @@
+"""Benchmark registry: build any §5 benchmark by name."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..dfg import DFG
+from . import dct, diffeq, ewf, ex, extra, paulin, tseng
+
+_BUILDERS: dict[str, Callable[[], DFG]] = {
+    "ex": ex.build,
+    "dct": dct.build,
+    "diffeq": diffeq.build,
+    "ewf": ewf.build,
+    "paulin": paulin.build,
+    "tseng": tseng.build,
+    "fir8": extra.build_fir8,
+    "iir": extra.build_iir_biquad,
+    "ar": extra.build_ar_lattice,
+}
+
+#: The three benchmarks with full tables in the paper.
+TABLE_BENCHMARKS = ("ex", "dct", "diffeq")
+
+#: The additional benchmarks §5 mentions testing.
+EXTRA_BENCHMARKS = ("ewf", "paulin", "tseng")
+
+#: Benchmarks beyond the paper (library extensions).
+EXTENSION_BENCHMARKS = ("fir8", "iir", "ar")
+
+
+def names() -> list[str]:
+    """All registered benchmark names."""
+    return sorted(_BUILDERS)
+
+
+def load(name: str) -> DFG:
+    """Build the named benchmark DFG.
+
+    Raises:
+        KeyError: for an unknown name.
+    """
+    try:
+        return _BUILDERS[name]()
+    except KeyError:
+        raise KeyError(f"unknown benchmark {name!r}; "
+                       f"choose from {names()}") from None

@@ -1,0 +1,26 @@
+"""The Tseng benchmark (Tseng & Siewiorek's FACET example).
+
+Reconstruction of the small mixed arithmetic/logic example used by the
+FACET data-path synthesis paper: a handful of additions, a subtraction,
+a multiplication, a division and bitwise operations — the classic
+exercise for register/unit sharing with heterogeneous operations.
+"""
+
+from __future__ import annotations
+
+from ..dfg import DFG, DFGBuilder
+
+
+def build() -> DFG:
+    """Build the Tseng data-flow graph."""
+    b = DFGBuilder("tseng")
+    b.inputs("a", "b", "c", "d", "e")
+    b.op("N1", "+", "t1", "a", "b")
+    b.op("N2", "-", "t2", "c", "d")
+    b.op("N3", "*", "t3", "t1", "t2")
+    b.op("N4", "|", "t4", "t1", "e")
+    b.op("N5", "&", "t5", "t3", "t4")
+    b.op("N6", "/", "t6", "t3", "c")
+    b.op("N7", "+", "out", "t5", "t6")
+    b.outputs("out")
+    return b.build()

@@ -1,0 +1,29 @@
+"""Built-in self-test: LFSR/MISR machinery, BILBO planning, emulation.
+
+An extension following the paper's related work (Papachristou et al.,
+Avra): the structural data path the synthesis algorithm produces maps
+directly onto BILBO-style self-test sessions, and the self-loops the
+balance principle avoids are exactly the sessions that conflict.
+"""
+
+from .evaluate import (ModuleBistResult, PlanBistResult,
+                       evaluate_design_bist, evaluate_unit_bist,
+                       unit_netlist)
+from .lfsr import LFSR, LaneMISR, PRIMITIVE_TAPS, taps_for
+from .plan import BistPlan, BistSession, bilbo_overhead_mm2, plan_bist
+
+__all__ = [
+    "LFSR",
+    "LaneMISR",
+    "PRIMITIVE_TAPS",
+    "BistPlan",
+    "BistSession",
+    "ModuleBistResult",
+    "PlanBistResult",
+    "bilbo_overhead_mm2",
+    "evaluate_design_bist",
+    "evaluate_unit_bist",
+    "plan_bist",
+    "taps_for",
+    "unit_netlist",
+]

@@ -1,0 +1,129 @@
+"""LFSRs and MISRs over GF(2) — the BIST pattern/signature machinery.
+
+Fibonacci LFSRs with primitive feedback polynomials generate the
+pseudo-random test patterns; multiple-input signature registers (MISRs)
+compress output streams.  The MISR implementation is *lane-parallel*:
+every state bit is a 64-lane integer, so one MISR instance compresses
+the good machine and up to 63 faulty machines simultaneously — exactly
+matching the packed fault simulator, which makes exact aliasing
+measurement cheap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import ATPGError
+
+#: Primitive polynomial tap positions (1-based exponents, excluding x^0)
+#: for common widths, from the standard tables.
+PRIMITIVE_TAPS = {
+    2: (2, 1), 3: (3, 2), 4: (4, 3), 5: (5, 3), 6: (6, 5), 7: (7, 6),
+    8: (8, 6, 5, 4), 9: (9, 5), 10: (10, 7), 11: (11, 9),
+    12: (12, 11, 10, 4), 13: (13, 12, 11, 8), 14: (14, 13, 12, 2),
+    15: (15, 14), 16: (16, 15, 13, 4), 17: (17, 14), 18: (18, 11),
+    20: (20, 17), 24: (24, 23, 22, 17), 32: (32, 22, 2, 1),
+}
+
+
+def taps_for(width: int) -> tuple[int, ...]:
+    """Primitive taps for ``width``; raises for unsupported widths."""
+    try:
+        return PRIMITIVE_TAPS[width]
+    except KeyError:
+        raise ATPGError(f"no primitive polynomial stored for width "
+                        f"{width}") from None
+
+
+@dataclass
+class LFSR:
+    """A Fibonacci LFSR producing ``width``-bit pseudo-random words."""
+
+    width: int
+    seed: int = 1
+    taps: tuple[int, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.taps:
+            self.taps = taps_for(self.width)
+        mask = (1 << self.width) - 1
+        self.state = self.seed & mask
+        if self.state == 0:
+            self.state = 1      # the all-zero state is a fixed point
+
+    def step(self) -> int:
+        """Advance one clock; return the new state."""
+        feedback = 0
+        for tap in self.taps:
+            feedback ^= (self.state >> (tap - 1)) & 1
+        self.state = ((self.state << 1) | feedback) & ((1 << self.width) - 1)
+        if self.state == 0:  # pragma: no cover - primitive taps prevent it
+            self.state = 1
+        return self.state
+
+    def sequence(self, count: int) -> list[int]:
+        """The next ``count`` states."""
+        return [self.step() for _ in range(count)]
+
+    def period(self) -> int:
+        """Cycle length from the current state (2^width - 1 when
+        primitive) — walks the orbit, so only use on small widths."""
+        start = self.state
+        steps = 0
+        while True:
+            self.step()
+            steps += 1
+            if self.state == start:
+                return steps
+
+
+@dataclass
+class LaneMISR:
+    """A MISR whose every bit carries 64 independent lanes.
+
+    ``absorb`` takes one lane-packed integer per input bit position;
+    the signature is read back per lane.
+    """
+
+    width: int
+    taps: tuple[int, ...] = ()
+    state: list[int] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.taps:
+            self.taps = taps_for(self.width)
+        if not self.state:
+            self.state = [0] * self.width
+
+    def absorb(self, inputs: list[int]) -> None:
+        """One clock: shift, feed back, and XOR the input bits in.
+
+        ``inputs`` may be shorter than the MISR (remaining bits absorb
+        nothing) but not longer.
+        """
+        if len(inputs) > self.width:
+            raise ATPGError(f"MISR width {self.width} cannot absorb "
+                            f"{len(inputs)} bits")
+        feedback = 0
+        for tap in self.taps:
+            feedback ^= self.state[tap - 1]
+        shifted = [feedback] + self.state[:-1]
+        for index, value in enumerate(inputs):
+            shifted[index] ^= value
+        self.state = shifted
+
+    def signature(self, lane: int) -> int:
+        """The ``width``-bit signature held by one lane."""
+        sig = 0
+        for index, bits in enumerate(self.state):
+            if (bits >> lane) & 1:
+                sig |= 1 << index
+        return sig
+
+    def differing_lanes(self) -> int:
+        """Bit mask of lanes whose signature differs from lane 0."""
+        diff = 0
+        for bits in self.state:
+            good = -(bits & 1) & ((1 << 64) - 1)   # broadcast lane 0
+            diff |= bits ^ good
+        return diff & ~1 & ((1 << 64) - 1)

@@ -1,0 +1,96 @@
+"""BIST session planning (the Papachristou/Avra related-work direction).
+
+A BILBO-style self-test plan assigns register roles per test session:
+for each functional module, the registers feeding its input ports act
+as test-pattern generators (TPGs) and a register at its output collects
+the signature (MISR).  A register needed as both TPG and MISR in the
+same session is a *self-adjacent* conflict — precisely the self-loop
+structure the synthesis algorithm tries to avoid, so the number of
+conflicted sessions is itself a testability verdict on a design.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..etpn.datapath import DataPath, NodeKind
+
+
+@dataclass(frozen=True)
+class BistSession:
+    """One self-test session: a module with its TPG/MISR assignments.
+
+    ``conflicts`` lists registers required on both sides (BILBO cannot
+    be TPG and MISR simultaneously — the session then needs the loop
+    broken or an extra register).
+    """
+
+    module: str
+    tpg_registers: tuple[str, ...]
+    misr_registers: tuple[str, ...]
+    conflicts: tuple[str, ...]
+
+    @property
+    def self_testable(self) -> bool:
+        return not self.conflicts
+
+
+@dataclass
+class BistPlan:
+    """The complete plan plus its register-role summary."""
+
+    sessions: list[BistSession] = field(default_factory=list)
+
+    def conflicted_sessions(self) -> list[BistSession]:
+        return [s for s in self.sessions if not s.self_testable]
+
+    def tpg_registers(self) -> set[str]:
+        return {r for s in self.sessions for r in s.tpg_registers}
+
+    def misr_registers(self) -> set[str]:
+        return {r for s in self.sessions for r in s.misr_registers}
+
+    def bilbo_registers(self) -> set[str]:
+        """Registers needing full BILBO capability (both roles, across
+        different sessions — legal, unlike within one session)."""
+        return self.tpg_registers() & self.misr_registers()
+
+    def summary(self) -> dict[str, int]:
+        return {
+            "sessions": len(self.sessions),
+            "conflicted": len(self.conflicted_sessions()),
+            "tpg": len(self.tpg_registers()),
+            "misr": len(self.misr_registers()),
+            "bilbo": len(self.bilbo_registers()),
+        }
+
+
+def plan_bist(datapath: DataPath) -> BistPlan:
+    """Derive the session plan of a data path."""
+    plan = BistPlan()
+    for module in datapath.modules():
+        sources = {a.src for a in datapath.incoming(module.node_id)
+                   if datapath.nodes[a.src].kind == NodeKind.REGISTER}
+        sinks = {a.dst for a in datapath.outgoing(module.node_id)
+                 if datapath.nodes[a.dst].kind == NodeKind.REGISTER}
+        conflicts = tuple(sorted(sources & sinks))
+        plan.sessions.append(BistSession(
+            module=module.node_id,
+            tpg_registers=tuple(sorted(sources)),
+            misr_registers=tuple(sorted(sinks)),
+            conflicts=conflicts))
+    return plan
+
+
+def bilbo_overhead_mm2(plan: BistPlan, bits: int,
+                       per_bit_mm2: float = 0.0012) -> float:
+    """Extra area of converting registers to TPG/MISR/BILBO cells.
+
+    TPG or MISR conversion costs one XOR+mux per bit; a full BILBO cell
+    roughly twice that.  The default per-bit figure matches the module
+    library's scale.
+    """
+    single_role = ((plan.tpg_registers() | plan.misr_registers())
+                   - plan.bilbo_registers())
+    return (len(single_role) * bits * per_bit_mm2
+            + len(plan.bilbo_registers()) * bits * 2 * per_bit_mm2)

@@ -1,0 +1,164 @@
+"""Command-line interface: regenerate the paper's tables and figures.
+
+Examples::
+
+    repro-hlts table1                 # Table 1 (Ex), quick budgets
+    repro-hlts table2 --bits 4        # Table 2 (Dct), 4-bit column only
+    repro-hlts fig2                   # Figure 2 (Ex schedule)
+    repro-hlts synth diffeq -k 3 -a 2 -b 1
+    repro-hlts bench ex --flow ours --bits 8
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .bench import load, names
+from .cost import CostModel
+from .harness import (ExperimentConfig, FLOW_ORDER, render_schedule,
+                      render_sharing, render_summary, render_table, run_cell,
+                      synthesize_flow)
+from .synth import SynthesisParams, run_ours
+
+
+def _add_bits(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--bits", type=int, nargs="+", default=[4, 8, 16],
+                        help="data-path bit widths (default: 4 8 16)")
+
+
+def _table_command(args, benchmark: str) -> int:
+    cells = []
+    for flow in FLOW_ORDER:
+        for bits in args.bits:
+            print(f"running {benchmark}/{flow}/{bits}-bit ...",
+                  file=sys.stderr)
+            cells.append(run_cell(benchmark, flow,
+                                  ExperimentConfig.quick(bits)))
+    print(render_table(benchmark, cells, show_area=True))
+    return 0
+
+
+def _figure_command(args, benchmarks: list[str]) -> int:
+    for benchmark in benchmarks:
+        design = synthesize_flow(benchmark, "ours", args.figure_bits)
+        print(render_schedule(design))
+        print()
+        print(render_sharing(design))
+        print()
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point of the ``repro-hlts`` command."""
+    parser = argparse.ArgumentParser(
+        prog="repro-hlts",
+        description="High-level test synthesis (Yang & Peng, DATE 1998): "
+                    "regenerate the paper's tables and figures.")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    for table, benchmark in (("table1", "ex"), ("table2", "dct"),
+                             ("table3", "diffeq")):
+        p = sub.add_parser(table, help=f"reproduce {table} ({benchmark})")
+        _add_bits(p)
+
+    for figure, benchmarks in (("fig2", ["ex"]), ("fig3", ["dct", "diffeq"])):
+        p = sub.add_parser(figure, help=f"reproduce {figure} schedule(s)")
+        p.add_argument("--figure-bits", type=int, default=8)
+
+    p = sub.add_parser("synth", help="synthesise one benchmark with ours")
+    p.add_argument("benchmark", choices=names())
+    p.add_argument("-k", type=int, default=3)
+    p.add_argument("-a", "--alpha", type=float, default=2.0)
+    p.add_argument("-b", "--beta", type=float, default=1.0)
+    p.add_argument("--bits", type=int, default=8)
+
+    p = sub.add_parser("explore", help="Pareto sweep over (k, alpha, beta)")
+    p.add_argument("benchmark", choices=names())
+    p.add_argument("--bits", type=int, default=8)
+
+    p = sub.add_parser("export", help="export a synthesised design")
+    p.add_argument("benchmark", choices=names())
+    p.add_argument("--what", choices=["verilog", "dot", "json"],
+                   default="verilog")
+    p.add_argument("--bits", type=int, default=8)
+
+    p = sub.add_parser("report", help="markdown report from recorded rows")
+    p.add_argument("--rows", default="benchmarks/out/rows.jsonl")
+    p.add_argument("--output", default=None)
+
+    p = sub.add_parser("bench", help="one table cell (flow x width)")
+    p.add_argument("benchmark", choices=names())
+    p.add_argument("--flow", choices=FLOW_ORDER, default="ours")
+    p.add_argument("--bits", type=int, default=8)
+
+    args = parser.parse_args(argv)
+
+    if args.command == "table1":
+        return _table_command(args, "ex")
+    if args.command == "table2":
+        return _table_command(args, "dct")
+    if args.command == "table3":
+        return _table_command(args, "diffeq")
+    if args.command == "fig2":
+        return _figure_command(args, ["ex"])
+    if args.command == "fig3":
+        return _figure_command(args, ["dct", "diffeq"])
+    if args.command == "synth":
+        result = run_ours(load(args.benchmark),
+                          SynthesisParams(k=args.k, alpha=args.alpha,
+                                          beta=args.beta),
+                          CostModel(bits=args.bits))
+        print(render_schedule(result.design))
+        print()
+        print(render_sharing(result.design))
+        print()
+        print(f"mergers applied: {result.iterations}")
+        for record in result.history:
+            print(f"  #{record.iteration}: {record.kind} "
+                  f"{record.absorbed} -> {record.kept} "
+                  f"(dE={record.delta_e:+.0f}, dH={record.delta_h:+.4f})")
+        return 0
+    if args.command == "explore":
+        from .synth import explore, pareto_front, render_front
+        points = explore(load(args.benchmark), CostModel(bits=args.bits))
+        print("all distinct designs:")
+        print(render_front(points))
+        print()
+        print("Pareto front (E, H, testability):")
+        print(render_front(pareto_front(points)))
+        return 0
+    if args.command == "export":
+        design = run_ours(load(args.benchmark),
+                          cost_model=CostModel(bits=args.bits)).design
+        if args.what == "json":
+            import json as _json
+            from .io import design_to_dict
+            print(_json.dumps(design_to_dict(design), indent=2))
+        elif args.what == "dot":
+            from .etpn.dot import datapath_to_dot
+            print(datapath_to_dot(design.datapath))
+        else:
+            from .gates import expand_to_gates, netlist_to_verilog
+            from .rtl import generate_rtl
+            netlist = expand_to_gates(generate_rtl(design, args.bits))
+            print(netlist_to_verilog(netlist))
+        return 0
+    if args.command == "report":
+        from .harness.report import load_rows, render_report, write_report
+        if args.output:
+            print(write_report(args.rows, args.output))
+        else:
+            print(render_report(load_rows(args.rows)))
+        return 0
+    if args.command == "bench":
+        cell = run_cell(args.benchmark, args.flow,
+                        ExperimentConfig.quick(args.bits))
+        print(render_summary([cell]))
+        return 0
+    parser.error(f"unknown command {args.command!r}")
+    return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,93 @@
+"""Hardware and execution-time estimation (paper §4.2).
+
+``H = Σ Area(V_i) + Σ Len(A_j) × Wid(A_j)`` over the floorplanned data
+path; ``E`` is the critical path of the control Petri net.  The
+synthesis algorithm compares candidate mergers by ΔE and ΔH, the
+increases these two numbers suffer when the merger's scheduling
+constraints are discharged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..etpn.datapath import DataPath, NodeKind
+from ..etpn.design import Design
+from .floorplan import Floorplan, floorplan
+from .library import DEFAULT_LIBRARY, ModuleLibrary
+
+
+@dataclass(frozen=True)
+class HardwareCost:
+    """Itemised hardware cost of a data path, in mm²."""
+
+    units_mm2: float
+    registers_mm2: float
+    muxes_mm2: float
+    wiring_mm2: float
+
+    @property
+    def total_mm2(self) -> float:
+        """H: the number reported in the paper's Area columns."""
+        return (self.units_mm2 + self.registers_mm2 + self.muxes_mm2
+                + self.wiring_mm2)
+
+
+@dataclass
+class CostModel:
+    """Bundles the module library and data-path bit width.
+
+    One CostModel instance is shared by a whole synthesis run, so every
+    ΔH the algorithm compares uses identical parameters.
+    """
+
+    bits: int = 8
+    library: ModuleLibrary = field(default_factory=lambda: DEFAULT_LIBRARY)
+
+    # ------------------------------------------------------------------
+    def node_area(self, datapath: DataPath, node_id: str) -> float:
+        """Area of one data-path node (ports and constants are free)."""
+        node = datapath.nodes[node_id]
+        if node.kind == NodeKind.MODULE:
+            return self.library.unit_area(datapath.module_class(node_id),
+                                          self.bits)
+        if node.kind == NodeKind.REGISTER:
+            return self.library.register_area(self.bits)
+        return 0.0
+
+    def hardware(self, datapath: DataPath,
+                 plan: Floorplan | None = None) -> HardwareCost:
+        """Compute H for a data path (floorplanning it if needed)."""
+        if plan is None:
+            plan = floorplan(datapath, self.library.slot_pitch_mm)
+        units = sum(self.node_area(datapath, m.node_id)
+                    for m in datapath.modules())
+        registers = sum(self.node_area(datapath, r.node_id)
+                        for r in datapath.registers())
+        muxes = 0.0
+        for node_id in datapath.nodes:
+            for port in datapath.input_ports(node_id):
+                fanin = len(datapath.sources_of_port(node_id, port))
+                muxes += self.library.mux_area(fanin, self.bits)
+        wiring = 0.0
+        for arc in datapath.arcs:
+            bits = 1 if arc.is_condition else self.bits
+            wiring += (plan.wirelength_mm(arc.src, arc.dst)
+                       * self.library.wire_width(bits))
+        return HardwareCost(units, registers, muxes, wiring)
+
+    def hardware_total(self, datapath: DataPath) -> float:
+        """Shorthand for ``hardware(...).total_mm2``."""
+        return self.hardware(datapath).total_mm2
+
+    # ------------------------------------------------------------------
+    def execution(self, design: Design) -> int:
+        """E: the control-part critical path of a design."""
+        return design.execution_time
+
+    def delta(self, before: Design, after: Design) -> tuple[float, float]:
+        """(ΔE, ΔH) of a candidate transformation."""
+        delta_e = float(self.execution(after) - self.execution(before))
+        delta_h = (self.hardware_total(after.datapath)
+                   - self.hardware_total(before.datapath))
+        return delta_e, delta_h

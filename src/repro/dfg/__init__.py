@@ -1,0 +1,34 @@
+"""Data-flow graph core: the behavioural input to every synthesis flow."""
+
+from .builder import DFGBuilder
+from .graph import Const, DFG, DependenceEdge, Operation, Variable
+from .lifetime import Lifetime, conflict_graph, disjoint, variable_lifetimes
+from .optimize import (OptimizeStats, eliminate_common_subexpressions,
+                       eliminate_dead_code, fold_constants, optimize)
+from .ops import OpKind, UnitClass, compatible, is_commutative, is_comparison, unit_class
+from .validate import validate_dfg
+
+__all__ = [
+    "Const",
+    "DFG",
+    "DFGBuilder",
+    "DependenceEdge",
+    "Lifetime",
+    "OpKind",
+    "OptimizeStats",
+    "Operation",
+    "UnitClass",
+    "Variable",
+    "compatible",
+    "conflict_graph",
+    "disjoint",
+    "is_commutative",
+    "is_comparison",
+    "unit_class",
+    "eliminate_common_subexpressions",
+    "eliminate_dead_code",
+    "fold_constants",
+    "optimize",
+    "validate_dfg",
+    "variable_lifetimes",
+]

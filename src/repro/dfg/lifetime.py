@@ -1,0 +1,137 @@
+"""Variable lifetime analysis (step 13 of Algorithm 1 in the paper).
+
+Lifetime semantics
+------------------
+A register is written at the clock edge that *ends* a control step and
+read combinationally *during* a step.  Hence:
+
+* a computed value born in step ``t`` occupies its register during steps
+  ``t+1, t+2, ...`` — interval ``(t, death]``;
+* a primary-input variable is loaded from its port at the end of the
+  step *before* its first use, so its birth is ``first_use - 1``;
+* a primary-output value must survive one step past its final
+  definition so it can be driven to the port;
+* a multiply-defined variable (``u1 = u - e; u1 = u1 - f``) occupies one
+  register for the union of its value intervals, i.e. a single merged
+  interval.
+
+Two variables may share a register exactly when their intervals are
+disjoint; intervals ``(b1, d1]`` and ``(b2, d2]`` overlap iff
+``b1 < d2 and b2 < d1``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ScheduleError
+from .graph import DFG
+
+
+@dataclass(frozen=True)
+class Lifetime:
+    """Half-open occupation interval ``(birth, death]`` of a variable."""
+
+    variable: str
+    birth: int
+    death: int
+
+    def overlaps(self, other: "Lifetime") -> bool:
+        """True when the two variables cannot share a register."""
+        return self.birth < other.death and other.birth < self.death
+
+    @property
+    def span(self) -> int:
+        """Number of steps the variable occupies a register."""
+        return max(0, self.death - self.birth)
+
+    def __str__(self) -> str:  # pragma: no cover - debug helper
+        return f"{self.variable}:({self.birth},{self.death}]"
+
+
+def variable_lifetimes(dfg: DFG, steps: dict[str, int]) -> dict[str, Lifetime]:
+    """Compute the lifetime of every register-needing variable.
+
+    Args:
+        dfg: the data-flow graph.
+        steps: a complete schedule mapping op_id to control step.
+
+    Returns:
+        Mapping from variable name to its :class:`Lifetime`.
+
+    Raises:
+        ScheduleError: when ``steps`` does not cover every operation.
+    """
+    missing = set(dfg.operations) - set(steps)
+    if missing:
+        raise ScheduleError(f"{dfg.name}: unscheduled operations "
+                            f"{sorted(missing)}")
+
+    lifetimes: dict[str, Lifetime] = {}
+    for name, var in dfg.variables.items():
+        if not var.needs_register():
+            continue
+        def_steps = [steps[o] for o in dfg.defs_of(name)]
+        use_steps = [steps[o] for o in dfg.uses_of(name)]
+        if not def_steps and not use_steps:
+            continue
+        if var.is_input and use_steps:
+            birth = min(use_steps) - 1
+        elif def_steps:
+            birth = min(def_steps)
+        else:
+            # Used but never defined and not an input: validator forbids
+            # this, but stay defensive.
+            birth = min(use_steps) - 1
+        death = birth
+        if use_steps:
+            death = max(death, max(use_steps))
+        if def_steps:
+            # A later redefinition keeps the register occupied through
+            # the defining step (the old value is still live inside it).
+            death = max(death, max(def_steps))
+        if var.is_output and def_steps:
+            death = max(death, max(def_steps) + 1)
+        lifetimes[name] = Lifetime(name, birth, death)
+    return lifetimes
+
+
+def conflict_graph(lifetimes: dict[str, Lifetime]) -> dict[str, set[str]]:
+    """Adjacency sets of the register-sharing conflict graph."""
+    names = sorted(lifetimes)
+    graph: dict[str, set[str]] = {n: set() for n in names}
+    for i, a in enumerate(names):
+        for b in names[i + 1:]:
+            if lifetimes[a].overlaps(lifetimes[b]):
+                graph[a].add(b)
+                graph[b].add(a)
+    return graph
+
+
+def disjoint(lifetimes: dict[str, Lifetime], group: list[str]) -> bool:
+    """True when all variables in ``group`` can share one register."""
+    present = [lifetimes[v] for v in group if v in lifetimes]
+    for i, a in enumerate(present):
+        for b in present[i + 1:]:
+            if a.overlaps(b):
+                return False
+    return True
+
+
+def max_overlap(lifetimes: dict[str, Lifetime]) -> int:
+    """Maximum number of simultaneously live variables.
+
+    This is the lower bound on register count for the given schedule.
+    """
+    events: list[tuple[int, int]] = []
+    for lt in lifetimes.values():
+        if lt.span == 0:
+            continue
+        events.append((lt.birth, 1))
+        events.append((lt.death, -1))
+    events.sort()
+    live = best = 0
+    for _, delta in events:
+        live += delta
+        best = max(best, live)
+    return best

@@ -1,0 +1,184 @@
+"""Behavioural optimisations on data-flow graphs.
+
+Classic front-end passes a VHDL compiler would run before synthesis:
+
+* **constant folding** — operations whose operands are all literals are
+  evaluated at compile time (at a chosen bit width, since arithmetic
+  wraps);
+* **common-subexpression elimination** — two operations computing the
+  same kind over the same *values* collapse into one (e.g. Diffeq's two
+  ``u * dx`` products);
+* **dead-code elimination** — operations whose results reach no output
+  and no condition are dropped.
+
+Each pass returns a *new* DFG; the original is never mutated.  Note the
+testability interplay: CSE reduces area but also removes the natural
+redundancy that made some values doubly observable, so the benches can
+measure both directions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .builder import DFGBuilder
+from .graph import Const, DFG, Operand
+from .ops import OpKind, is_commutative
+
+
+@dataclass
+class OptimizeStats:
+    """What the pipeline removed."""
+
+    folded: int = 0
+    cse_removed: int = 0
+    dead_removed: int = 0
+
+    @property
+    def total_removed(self) -> int:
+        return self.folded + self.cse_removed + self.dead_removed
+
+
+def _rebuild(dfg: DFG, keep: dict[str, tuple[OpKind, tuple[Operand, ...],
+                                             str | None]]) -> DFG:
+    """Build a new DFG from the surviving (possibly rewritten) ops."""
+    builder = DFGBuilder(dfg.name)
+    builder.inputs(*(v.name for v in dfg.inputs()))
+    for op_id in dfg.op_order:
+        if op_id not in keep:
+            continue
+        kind, srcs, dst = keep[op_id]
+        builder.op(op_id, kind, dst,
+                   *(s.value if isinstance(s, Const) else s for s in srcs))
+    builder.outputs(*(v.name for v in dfg.outputs()))
+    if dfg.loop_condition is not None:
+        builder.loop(dfg.loop_condition)
+    return builder.build()
+
+
+def fold_constants(dfg: DFG, bits: int = 16) -> tuple[DFG, int]:
+    """Evaluate all-literal operations at width ``bits``.
+
+    A folded operation becomes a MOVE of the literal so its destination
+    variable (and node id) survives for downstream passes and bindings.
+    """
+    from ..rtl.semantics import apply_op
+
+    keep: dict = {}
+    folded = 0
+    for op_id in dfg.op_order:
+        op = dfg.operation(op_id)
+        if (op.dst is not None and op.kind != OpKind.MOVE
+                and all(isinstance(s, Const) for s in op.srcs)):
+            operands = [s.value for s in op.srcs]
+            if len(operands) == 1:
+                operands.append(0)
+            value = apply_op(op.kind, operands[0], operands[1], bits)
+            keep[op_id] = (OpKind.MOVE, (Const(value),), op.dst)
+            folded += 1
+        else:
+            keep[op_id] = (op.kind, op.srcs, op.dst)
+    return _rebuild(dfg, keep), folded
+
+
+def eliminate_common_subexpressions(dfg: DFG) -> tuple[DFG, int]:
+    """Merge operations computing the same value.
+
+    Two operations match when they have the same kind and their operand
+    *values* match — a variable operand matches only when its reaching
+    definition is the same op (so redefined variables don't fuse).
+    Commutative kinds match either operand order.  Later matches are
+    rewritten into MOVEs from the surviving value so multiply-defined
+    destinations stay defined.
+    """
+    keep: dict = {}
+    removed = 0
+    available: dict[tuple, str] = {}
+
+    def value_key(op) -> tuple | None:
+        parts = []
+        for operand, reaching in zip(op.srcs, op.reaching):
+            if isinstance(operand, Const):
+                parts.append(("const", operand.value))
+            else:
+                # Input-carried values key on the name; computed values
+                # on their defining op.
+                parts.append(("def", reaching) if reaching
+                             else ("input", operand))
+        if is_commutative(op.kind):
+            parts.sort()
+        return (op.kind, tuple(parts))
+
+    for op_id in dfg.op_order:
+        op = dfg.operation(op_id)
+        if op.dst is None:
+            keep[op_id] = (op.kind, op.srcs, op.dst)
+            continue
+        key = value_key(op)
+        prior = available.get(key)
+        if prior is not None:
+            prior_dst = dfg.operation(prior).dst
+            # Only safe when the prior value is still current (its
+            # variable has not been redefined in between).
+            still_current = dfg.defs_of(prior_dst)[-1] == prior \
+                or _no_redef_between(dfg, prior, op_id, prior_dst)
+            if still_current and prior_dst != op.dst:
+                keep[op_id] = (OpKind.MOVE, (prior_dst,), op.dst)
+                removed += 1
+                continue
+        available[key] = op_id
+        keep[op_id] = (op.kind, op.srcs, op.dst)
+    return _rebuild(dfg, keep), removed
+
+
+def _no_redef_between(dfg: DFG, def_op: str, use_op: str, var: str) -> bool:
+    defs = dfg.defs_of(var)
+    order = dfg.op_order
+    def_pos, use_pos = order.index(def_op), order.index(use_op)
+    return not any(def_pos < order.index(d) < use_pos
+                   for d in defs if d != def_op)
+
+
+def eliminate_dead_code(dfg: DFG) -> tuple[DFG, int]:
+    """Drop operations whose results reach no output or condition."""
+    live_vars = {v.name for v in dfg.outputs()} | set(dfg.condition_variables())
+    live_ops: set[str] = set()
+    changed = True
+    while changed:
+        changed = False
+        for op_id in reversed(dfg.op_order):
+            if op_id in live_ops:
+                continue
+            op = dfg.operation(op_id)
+            if op.dst in live_vars:
+                live_ops.add(op_id)
+                for src in op.src_variables():
+                    if src not in live_vars:
+                        live_vars.add(src)
+                        changed = True
+                changed = True
+    keep = {op_id: (dfg.operation(op_id).kind, dfg.operation(op_id).srcs,
+                    dfg.operation(op_id).dst)
+            for op_id in dfg.op_order if op_id in live_ops}
+    removed = len(dfg.operations) - len(keep)
+    if not keep:
+        # Degenerate: everything dead; keep the graph as-is instead of
+        # producing an invalid empty DFG.
+        return dfg, 0
+    return _rebuild(dfg, keep), removed
+
+
+def optimize(dfg: DFG, bits: int = 16) -> tuple[DFG, OptimizeStats]:
+    """Run fold → CSE → DCE to a fixpoint (at most a few rounds)."""
+    stats = OptimizeStats()
+    current = dfg
+    for _ in range(10):
+        current, folded = fold_constants(current, bits)
+        current, cse = eliminate_common_subexpressions(current)
+        current, dead = eliminate_dead_code(current)
+        stats.folded += folded
+        stats.cse_removed += cse
+        stats.dead_removed += dead
+        if folded == cse == dead == 0:
+            break
+    return current, stats

@@ -1,0 +1,14 @@
+"""Extended Timed Petri Net design representation (data path + control)."""
+
+from .datapath import DataPath, DataPathArc, DataPathNode, NodeKind
+from .design import Design
+from .from_dfg import default_design
+
+__all__ = [
+    "DataPath",
+    "DataPathArc",
+    "DataPathNode",
+    "Design",
+    "NodeKind",
+    "default_design",
+]

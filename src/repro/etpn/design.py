@@ -1,0 +1,89 @@
+"""The ETPN design point: DFG + schedule + binding.
+
+A :class:`Design` bundles the three facts that fully determine an
+RT-level implementation and lazily derives the expensive views: the
+structural data path, the control Petri net, variable lifetimes and the
+execution time (Petri-net critical path).  Designs are immutable;
+transformations produce new ones via :meth:`Design.replaced`.
+"""
+
+from __future__ import annotations
+
+from functools import cached_property
+
+from ..alloc.binding import Binding, validate_binding
+from ..dfg import DFG
+from ..dfg.lifetime import Lifetime, variable_lifetimes
+from ..petri import PetriNet, control_net_for_design, execution_time
+from ..sched.constraints import check_precedence
+from ..sched.schedule import schedule_length
+from .datapath import DataPath
+
+
+class Design:
+    """An ETPN design point produced by a synthesis flow."""
+
+    def __init__(self, dfg: DFG, steps: dict[str, int], binding: Binding,
+                 label: str = "") -> None:
+        self.dfg = dfg
+        self.steps = dict(steps)
+        self.binding = binding
+        #: Which flow produced the design ("ours", "camad", ...).
+        self.label = label
+
+    # ------------------------------------------------------------------
+    @property
+    def num_steps(self) -> int:
+        """Number of control steps of the schedule."""
+        return schedule_length(self.steps)
+
+    @cached_property
+    def datapath(self) -> DataPath:
+        """The structural data path (built on first access)."""
+        return DataPath(self.dfg, self.binding)
+
+    @cached_property
+    def control_net(self) -> PetriNet:
+        """The timed Petri net control part."""
+        return control_net_for_design(self.dfg, self.steps)
+
+    @cached_property
+    def lifetimes(self) -> dict[str, Lifetime]:
+        """Variable lifetimes under this design's schedule."""
+        return variable_lifetimes(self.dfg, self.steps)
+
+    @cached_property
+    def execution_time(self) -> int:
+        """E: the critical path of the control part (paper §4.2)."""
+        return execution_time(self.control_net)
+
+    # ------------------------------------------------------------------
+    def validate(self) -> None:
+        """Check schedule precedence and binding legality together."""
+        check_precedence(self.dfg, self.steps)
+        validate_binding(self.dfg, self.steps, self.binding)
+
+    def replaced(self, steps: dict[str, int] | None = None,
+                 binding: Binding | None = None,
+                 label: str | None = None) -> "Design":
+        """A new design with some components swapped (others shared)."""
+        return Design(self.dfg,
+                      self.steps if steps is None else steps,
+                      self.binding if binding is None else binding,
+                      self.label if label is None else label)
+
+    def summary(self) -> dict[str, int]:
+        """Headline structural numbers used throughout the harness."""
+        return {
+            "steps": self.num_steps,
+            "modules": self.binding.module_count(),
+            "registers": self.binding.register_count(),
+            "muxes": self.datapath.mux_count(),
+            "self_loops": len(self.datapath.self_loops()),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        s = self.summary()
+        return (f"Design({self.dfg.name!r}, label={self.label!r}, "
+                f"steps={s['steps']}, modules={s['modules']}, "
+                f"regs={s['registers']}, muxes={s['muxes']})")

@@ -1,0 +1,64 @@
+"""Graphviz (dot) export of data paths and control nets.
+
+For inspection and documentation: ``dot -Tsvg`` renders the data-path
+structure the paper's figures sketch.  Pure text generation — no
+graphviz dependency.
+"""
+
+from __future__ import annotations
+
+from ..petri.net import PetriNet
+from .datapath import DataPath, NodeKind
+
+_SHAPE = {
+    NodeKind.PORT_IN: "invtriangle",
+    NodeKind.PORT_OUT: "triangle",
+    NodeKind.REGISTER: "box",
+    NodeKind.MODULE: "ellipse",
+    NodeKind.CONST: "plaintext",
+    NodeKind.COND: "diamond",
+}
+
+
+def datapath_to_dot(datapath: DataPath) -> str:
+    """The data path as a dot digraph (registers boxed, units oval)."""
+    lines = [f'digraph "{datapath.dfg.name}" {{',
+             "  rankdir=TB;",
+             '  node [fontname="Helvetica"];']
+    for node in sorted(datapath.nodes.values(), key=lambda n: n.node_id):
+        label = node.node_id
+        if node.kind == NodeKind.MODULE:
+            label += "\\n" + ",".join(node.ops)
+        elif node.kind == NodeKind.REGISTER:
+            label += "\\n" + ",".join(node.variables)
+        lines.append(f'  "{node.node_id}" [shape={_SHAPE[node.kind].strip()}'
+                     f', label="{label}"];')
+    for arc in datapath.arcs:
+        style = ' [style=dashed]' if arc.is_condition else ""
+        lines.append(f'  "{arc.src}" -> "{arc.dst}"{style};')
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def control_net_to_dot(net: PetriNet) -> str:
+    """The control Petri net as a dot digraph (places round,
+    transitions bars)."""
+    lines = [f'digraph "{net.name}_control" {{', "  rankdir=LR;"]
+    for place in sorted(net.places.values(), key=lambda p: p.place_id):
+        peripheries = 2 if place.place_id in net.initial_marking else 1
+        label = place.place_id
+        if place.label:
+            label += f"\\n{place.label}"
+        lines.append(f'  "{place.place_id}" [shape=circle, '
+                     f'peripheries={peripheries}, label="{label}"];')
+    for transition in sorted(net.transitions.values(),
+                             key=lambda t: t.trans_id):
+        guard = f"\\n[{transition.guard}]" if transition.guard else ""
+        lines.append(f'  "{transition.trans_id}" [shape=box, '
+                     f'height=0.1, label="{transition.trans_id}{guard}"];')
+        for src in transition.inputs:
+            lines.append(f'  "{src}" -> "{transition.trans_id}";')
+        for dst in transition.outputs:
+            lines.append(f'  "{transition.trans_id}" -> "{dst}";')
+    lines.append("}")
+    return "\n".join(lines)

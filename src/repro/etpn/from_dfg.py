@@ -1,0 +1,20 @@
+"""Default scheduling/allocation (step 1 of Algorithm 1).
+
+The paper starts from "a simple default scheduling/allocation": the
+VHDL compiler maps each operation instance to its own data-path node
+and each variable to its own register; the default schedule is ASAP.
+"""
+
+from __future__ import annotations
+
+from ..alloc.binding import default_binding
+from ..dfg import DFG
+from ..dfg.analysis import asap_steps
+from .design import Design
+
+
+def default_design(dfg: DFG, label: str = "default") -> Design:
+    """Build and validate the default design for ``dfg``."""
+    design = Design(dfg, asap_steps(dfg), default_binding(dfg), label=label)
+    design.validate()
+    return design

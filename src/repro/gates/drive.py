@@ -1,0 +1,101 @@
+"""Drive a gate-level data path through its functional schedule.
+
+Turns a design's control table into per-cycle primary-input assignments
+for the expanded gate netlist, and reads word-level results back from
+the output bits — the glue used by the RTL↔gate equivalence tests and
+by the ATPG's functional warm-up sequences.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..etpn.design import Design
+from ..rtl.components import RTLDesign
+from ..rtl.controller import ControlTable
+from .simulate import FULL, CompiledCircuit
+
+
+def broadcast(bit: int) -> int:
+    """Replicate one logical bit into all 64 lanes."""
+    return FULL if bit else 0
+
+
+def functional_vectors(rtl: RTLDesign, table: ControlTable,
+                       inputs: dict[str, int]) -> list[dict[str, int]]:
+    """Per-cycle gate-input lanes for one schedule traversal.
+
+    Data ports hold their word value throughout; control signals follow
+    the control table.  All 64 lanes carry the same pattern.
+    """
+    port_bits: dict[str, int] = {}
+    for port in rtl.in_ports:
+        var = port.removeprefix("in_")
+        value = inputs[var]
+        for i in range(rtl.bits):
+            port_bits[f"{port}[{i}]"] = broadcast((value >> i) & 1)
+    vectors = []
+    for phase in range(table.phase_count):
+        cycle = dict(port_bits)
+        for signal, value in table.phases[phase].items():
+            cycle[signal] = broadcast(value)
+        vectors.append(cycle)
+    return vectors
+
+
+def read_word(outputs: dict[str, int], port: str, bits: int) -> int:
+    """Reassemble a word from output bit lanes (lane 0)."""
+    word = 0
+    for i in range(bits):
+        if outputs[f"{port}[{i}]"] & 1:
+            word |= 1 << i
+    return word
+
+
+@dataclass
+class GateRunResult:
+    """Word-level results of one gate-level schedule traversal."""
+
+    outputs: dict[str, int] = field(default_factory=dict)
+    conditions: dict[str, int] = field(default_factory=dict)
+
+
+def run_functional(design: Design, rtl: RTLDesign, table: ControlTable,
+                   circuit: CompiledCircuit,
+                   inputs: dict[str, int]) -> GateRunResult:
+    """Execute one schedule traversal on the gate netlist.
+
+    Output words are sampled at the cycle after their final definition
+    (registers may be reused by later variables); condition bits are
+    sampled in the cycle their comparison executes.
+    """
+    vectors = functional_vectors(rtl, table, inputs)
+    # One extra all-idle cycle so post-final-phase state is observable.
+    vectors.append({name: broadcast(bit)
+                    for name, bit in _port_hold(rtl, inputs).items()})
+    per_cycle, _ = circuit.run(vectors)
+
+    result = GateRunResult()
+    for cond_port, unit_id in rtl.cond_ports.items():
+        cond = cond_port.removeprefix("cond_")
+        def_op = design.dfg.defs_of(cond)[0]
+        cycle = design.steps[def_op] + 1
+        result.conditions[cond_port] = per_cycle[cycle][cond_port] & 1
+    for out_port in rtl.out_ports:
+        var = out_port.removeprefix("out_")
+        defs = design.dfg.defs_of(var)
+        sample_phase = max(design.steps[d] for d in defs) + 1 if defs else 0
+        # State after phase p is visible in the outputs of cycle p+1.
+        cycle = sample_phase + 1
+        result.outputs[out_port] = read_word(per_cycle[cycle], out_port,
+                                             rtl.bits)
+    return result
+
+
+def _port_hold(rtl: RTLDesign, inputs: dict[str, int]) -> dict[str, int]:
+    bits: dict[str, int] = {}
+    for port in rtl.in_ports:
+        var = port.removeprefix("in_")
+        for i in range(rtl.bits):
+            bits[f"{port}[{i}]"] = (inputs[var] >> i) & 1
+    return bits

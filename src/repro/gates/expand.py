@@ -1,0 +1,223 @@
+"""Expand word-level RTL into a gate-level netlist.
+
+The produced circuit is the *data path under test*: data ports and all
+control signals (mux selects, load enables, ALU op selects) are primary
+inputs — the paper assumes the controller is modified to support the
+test plan — and output ports plus condition lines are primary outputs.
+Registers become DFF bits with load-enable feedback muxes, so the
+circuit is genuinely sequential: justifying a deep register still takes
+multiple time frames, which is exactly the effect the paper's
+sequential testability measures model.
+"""
+
+from __future__ import annotations
+
+from ..dfg.ops import OpKind
+from ..errors import NetlistError
+from ..rtl.components import RTLDesign, Ref
+from .netlist import GateNetlist, GateType
+from .words import (Word, array_multiplier, barrel_shifter, bitwise,
+                    const_word, equality, gated_word, input_word, less_than,
+                    mux2_word, onehot_mux_word, or_words, restoring_divider,
+                    ripple_adder, subtractor)
+
+
+def _op_word(net: GateNetlist, kind: OpKind, a: Word, b: Word) -> Word:
+    """The result word of one operation kind (comparisons in bit 0)."""
+    bits = len(a)
+    zero_pad = lambda bit: [bit] + [net.add(GateType.CONST0)
+                                    for _ in range(bits - 1)]
+    if kind == OpKind.ADD:
+        return ripple_adder(net, a, b)[0]
+    if kind == OpKind.SUB:
+        return subtractor(net, a, b)[0]
+    if kind == OpKind.MUL:
+        return array_multiplier(net, a, b)
+    if kind == OpKind.DIV:
+        return restoring_divider(net, a, b)
+    if kind == OpKind.LT:
+        return zero_pad(less_than(net, a, b))
+    if kind == OpKind.GT:
+        return zero_pad(less_than(net, b, a))
+    if kind == OpKind.LE:
+        return zero_pad(net.add(GateType.NOT, (less_than(net, b, a),)))
+    if kind == OpKind.GE:
+        return zero_pad(net.add(GateType.NOT, (less_than(net, a, b),)))
+    if kind == OpKind.EQ:
+        return zero_pad(equality(net, a, b))
+    if kind == OpKind.NE:
+        return zero_pad(net.add(GateType.NOT, (equality(net, a, b),)))
+    if kind == OpKind.AND:
+        return bitwise(net, GateType.AND, a, b)
+    if kind == OpKind.OR:
+        return bitwise(net, GateType.OR, a, b)
+    if kind == OpKind.XOR:
+        return bitwise(net, GateType.XOR, a, b)
+    if kind == OpKind.NOT:
+        return [net.add(GateType.NOT, (bit,)) for bit in a]
+    if kind == OpKind.SHL:
+        return barrel_shifter(net, a, b, left=True)
+    if kind == OpKind.SHR:
+        return barrel_shifter(net, a, b, left=False)
+    if kind == OpKind.MOVE:
+        return list(a)
+    raise NetlistError(f"no gate expansion for {kind!r}")
+
+
+class _Expander:
+    """Builds the gate netlist for one RTL design.
+
+    With ``table=None`` every control signal becomes a primary input
+    (the fully-test-plan-controlled model).  With a control table, an
+    FSM phase counter is embedded and control signals are decoded from
+    it — the design is then tested *through its schedule*, so register
+    sequential depth costs real time frames, which is the setting where
+    the paper's testability differences materialise.
+    """
+
+    def __init__(self, rtl: RTLDesign, table=None) -> None:
+        self.rtl = rtl
+        self.table = table
+        self.net = GateNetlist(rtl.name)
+        self.bits = rtl.bits
+        self._ports: dict[str, Word] = {}
+        self._controls: dict[str, int] = {}
+        self._registers: dict[str, Word] = {}
+        self._consts: dict[int, Word] = {}
+        self._units: dict[str, Word] = {}
+        self._fsm_dffs: list[int] = []
+        self._phase_bits: list[int] = []
+
+    def run(self) -> GateNetlist:
+        net, bits = self.net, self.bits
+        for port in self.rtl.in_ports:
+            self._ports[port] = input_word(net, port, bits)
+        if self.table is None:
+            for signal in self.rtl.control_signals():
+                self._controls[signal] = net.add_input(signal)
+        else:
+            self._build_fsm_controls()
+        # DFFs first so unit logic can read register outputs.
+        for reg_id in sorted(self.rtl.registers):
+            self._registers[reg_id] = [net.add_dff(f"{reg_id}[{i}]")
+                                       for i in range(bits)]
+        for unit_id in sorted(self.rtl.units):
+            self._units[unit_id] = self._expand_unit(unit_id)
+        for reg_id in sorted(self.rtl.registers):
+            self._close_register(reg_id)
+        for out_port, reg_id in sorted(self.rtl.out_ports.items()):
+            for i, gid in enumerate(self._registers[reg_id]):
+                net.set_output(f"{out_port}[{i}]", gid)
+        for cond_port, unit_id in sorted(self.rtl.cond_ports.items()):
+            net.set_output(cond_port, self._units[unit_id][0])
+        net.check_complete()
+        return net
+
+    def _build_fsm_controls(self) -> None:
+        """Embed the phase counter and decode every control signal.
+
+        Phase indicators: S_p (a DFF) for phases 1..P-1 plus
+        ``phase0 = NOR(S_1..S_{P-1})``, which makes the all-zero reset
+        state phase 0 and lets the one-hot ring wrap for free (after
+        phase P-1 every S goes 0, so phase0 re-asserts).
+        """
+        net = self.net
+        phases = self.table.phase_count
+        s_bits = [net.add_dff(f"fsm_s{p}") for p in range(1, phases)]
+        self._fsm_dffs = s_bits
+        if s_bits:
+            phase0 = (net.add(GateType.NOT, (s_bits[0],))
+                      if len(s_bits) == 1
+                      else net.add(GateType.NOR, tuple(s_bits)))
+        else:
+            phase0 = net.add(GateType.CONST1)
+        self._phase_bits = [phase0] + s_bits
+        # Ring: S_1.D = phase0, S_p.D = S_{p-1}.
+        for index, dff in enumerate(s_bits):
+            net.connect_dff(dff, self._phase_bits[index])
+        zero = net.add(GateType.CONST0)
+        for signal in self.rtl.control_signals():
+            hot = [self._phase_bits[p] for p in range(phases)
+                   if self.table.phases[p].get(signal)]
+            if not hot:
+                self._controls[signal] = zero
+            elif len(hot) == 1:
+                self._controls[signal] = hot[0]
+            else:
+                self._controls[signal] = net.add(GateType.OR, tuple(hot))
+
+    # ------------------------------------------------------------------
+    def _resolve(self, ref: Ref) -> Word:
+        if ref.kind == "reg":
+            return self._registers[ref.ident]
+        if ref.kind == "port":
+            return self._ports[ref.ident]
+        if ref.kind == "const":
+            value = int(ref.ident)
+            if value not in self._consts:
+                self._consts[value] = const_word(self.net, value, self.bits)
+            return self._consts[value]
+        if ref.kind == "unit":
+            # Unit-to-unit chaining never occurs: every operand comes
+            # from a register, port or constant (the DFG is registered).
+            raise NetlistError(f"unit operand {ref} not supported")
+        raise NetlistError(f"unknown ref {ref}")
+
+    def _port_word(self, unit_id: str, port: int) -> Word:
+        unit = self.rtl.units[unit_id]
+        sources = unit.port_sources[port]
+        words = [self._resolve(ref) for ref in sources]
+        if len(words) == 1:
+            return words[0]
+        selects = [self._controls[unit.select_signal(port, i)]
+                   for i in range(len(sources))]
+        return onehot_mux_word(self.net, selects, words)
+
+    def _expand_unit(self, unit_id: str) -> Word:
+        unit = self.rtl.units[unit_id]
+        ports = sorted(unit.port_sources)
+        a = self._port_word(unit_id, ports[0])
+        b = (self._port_word(unit_id, ports[1]) if len(ports) > 1
+             else const_word(self.net, 0, self.bits))
+        if not unit.needs_op_select():
+            return _op_word(self.net, unit.kinds[0], a, b)
+        results = []
+        for kind in unit.kinds:
+            enable = self._controls[unit.op_signal(kind)]
+            results.append(gated_word(self.net, enable,
+                                      _op_word(self.net, kind, a, b)))
+        return or_words(self.net, results)
+
+    def _close_register(self, reg_id: str) -> None:
+        spec = self.rtl.registers[reg_id]
+        q = self._registers[reg_id]
+        words = []
+        for ref in spec.sources:
+            words.append(self._units[ref.ident] if ref.kind == "unit"
+                         else self._resolve(ref))
+        if spec.needs_mux():
+            selects = [self._controls[spec.select_signal(i)]
+                       for i in range(len(spec.sources))]
+            data = onehot_mux_word(self.net, selects, words)
+        else:
+            data = words[0]
+        load = self._controls[spec.load_signal()]
+        d = mux2_word(self.net, load, data, q)
+        for dff, din in zip(q, d):
+            self.net.connect_dff(dff, din)
+
+
+def expand_to_gates(rtl: RTLDesign) -> GateNetlist:
+    """Expand RTL to gates with control signals as primary inputs."""
+    return _Expander(rtl).run()
+
+
+def expand_with_controller(rtl: RTLDesign, table) -> GateNetlist:
+    """Expand RTL to gates with the FSM controller embedded.
+
+    Only the data ports remain primary inputs; the machine marches
+    through its control table (wrapping from the last phase back to
+    phase 0), so testing happens through the functional schedule — the
+    setting in which the paper's sequential-depth arguments bite.
+    """
+    return _Expander(rtl, table).run()

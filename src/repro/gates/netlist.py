@@ -1,0 +1,168 @@
+"""Gate-level netlists.
+
+A :class:`GateNetlist` is a flat list of gates with integer ids, chosen
+for simulation speed: the compiled simulator turns the netlist into
+straight-line Python over 64-bit integer bit vectors (one bit lane per
+pattern or per fault machine).
+
+Gate types: the basic combinational set plus DFF (positive-edge
+register bit) and the constant/input pseudo-gates.  Per the paper's
+methodology, the controller is assumed modifiable for test (§1), so
+control signals (mux selects, load enables, ALU op selects) enter the
+netlist as primary inputs and the data path's registers are the only
+state.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from ..errors import NetlistError
+
+
+class GateType(enum.Enum):
+    """Supported gate types."""
+
+    INPUT = "input"
+    CONST0 = "const0"
+    CONST1 = "const1"
+    BUF = "buf"
+    NOT = "not"
+    AND = "and"
+    OR = "or"
+    NAND = "nand"
+    NOR = "nor"
+    XOR = "xor"
+    XNOR = "xnor"
+    DFF = "dff"
+
+
+#: Types with no fanins.
+SOURCE_TYPES = frozenset({GateType.INPUT, GateType.CONST0, GateType.CONST1})
+#: Types with exactly one fanin.
+UNARY_TYPES = frozenset({GateType.BUF, GateType.NOT, GateType.DFF})
+
+
+@dataclass(frozen=True)
+class Gate:
+    """One gate: an output net driven by ``gtype`` over ``fanins``."""
+
+    gid: int
+    gtype: GateType
+    fanins: tuple[int, ...]
+    name: str = ""
+
+
+class GateNetlist:
+    """A flat gate-level netlist with named primary I/O."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.gates: list[Gate] = []
+        #: Primary input name -> gate id (GateType.INPUT).
+        self.inputs: dict[str, int] = {}
+        #: Primary output name -> driving gate id.
+        self.outputs: dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    def add(self, gtype: GateType, fanins: tuple[int, ...] = (),
+            name: str = "") -> int:
+        """Append a gate and return its id."""
+        if gtype in SOURCE_TYPES and fanins:
+            raise NetlistError(f"{gtype} takes no fanins")
+        if gtype in UNARY_TYPES and len(fanins) != 1:
+            raise NetlistError(f"{gtype} takes exactly one fanin")
+        if gtype not in SOURCE_TYPES and not fanins:
+            raise NetlistError(f"{gtype} needs fanins")
+        for fin in fanins:
+            if not (0 <= fin < len(self.gates)):
+                raise NetlistError(f"fanin {fin} does not exist yet "
+                                   f"(gates are added in topological order)")
+        gid = len(self.gates)
+        self.gates.append(Gate(gid, gtype, tuple(fanins), name))
+        return gid
+
+    def add_input(self, name: str) -> int:
+        """Declare a primary input bit."""
+        if name in self.inputs:
+            raise NetlistError(f"duplicate input {name!r}")
+        gid = self.add(GateType.INPUT, name=name)
+        self.inputs[name] = gid
+        return gid
+
+    def add_dff(self, name: str = "") -> int:
+        """Create a state bit whose D input is connected later.
+
+        DFF Q outputs are usable immediately (reads of last cycle's
+        state); :meth:`connect_dff` closes the feedback once the D-side
+        logic exists.
+        """
+        gid = len(self.gates)
+        self.gates.append(Gate(gid, GateType.DFF, (), name))
+        return gid
+
+    def connect_dff(self, gid: int, d_input: int) -> None:
+        """Connect the D input of a DFF created by :meth:`add_dff`."""
+        gate = self.gates[gid]
+        if gate.gtype != GateType.DFF:
+            raise NetlistError(f"gate {gid} is not a DFF")
+        if gate.fanins:
+            raise NetlistError(f"DFF {gid} already connected")
+        if not (0 <= d_input < len(self.gates)):
+            raise NetlistError(f"DFF {gid}: unknown D driver {d_input}")
+        self.gates[gid] = Gate(gid, GateType.DFF, (d_input,), gate.name)
+
+    def check_complete(self) -> None:
+        """Raise NetlistError when any DFF is left unconnected."""
+        for gate in self.gates:
+            if gate.gtype == GateType.DFF and not gate.fanins:
+                raise NetlistError(f"{self.name}: DFF {gate.gid} "
+                                   f"({gate.name!r}) has no D input")
+
+    def set_output(self, name: str, gid: int) -> None:
+        """Declare a primary output bit driven by gate ``gid``."""
+        if name in self.outputs:
+            raise NetlistError(f"duplicate output {name!r}")
+        if not (0 <= gid < len(self.gates)):
+            raise NetlistError(f"output {name!r} driven by unknown gate")
+        self.outputs[name] = gid
+
+    # ------------------------------------------------------------------
+    def dffs(self) -> list[Gate]:
+        """All state elements, in id order."""
+        return [g for g in self.gates if g.gtype == GateType.DFF]
+
+    def combinational_count(self) -> int:
+        """Number of combinational (non-source, non-DFF) gates."""
+        return sum(1 for g in self.gates
+                   if g.gtype not in SOURCE_TYPES
+                   and g.gtype != GateType.DFF)
+
+    def fanout_counts(self) -> list[int]:
+        """Fanout count per gate id."""
+        counts = [0] * len(self.gates)
+        for gate in self.gates:
+            for fin in gate.fanins:
+                counts[fin] += 1
+        for gid in self.outputs.values():
+            counts[gid] += 1
+        return counts
+
+    def stats(self) -> dict[str, int]:
+        """Headline sizes used by reports and tests."""
+        return {
+            "gates": len(self.gates),
+            "combinational": self.combinational_count(),
+            "dffs": len(self.dffs()),
+            "inputs": len(self.inputs),
+            "outputs": len(self.outputs),
+        }
+
+    def __len__(self) -> int:
+        return len(self.gates)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        s = self.stats()
+        return (f"GateNetlist({self.name!r}, {s['gates']} gates, "
+                f"{s['dffs']} dffs, {s['inputs']} PIs, {s['outputs']} POs)")

@@ -1,0 +1,187 @@
+"""Word-level gate constructions: adders, multipliers, comparators...
+
+Every function takes and returns *words*: lists of gate ids, index 0 =
+least-significant bit.  All arithmetic is unsigned and truncates to the
+word width, matching :mod:`repro.rtl.semantics` exactly (the gate-level
+equivalence tests enforce this bit-for-bit).
+"""
+
+from __future__ import annotations
+
+from .netlist import GateNetlist, GateType
+
+Word = list[int]
+
+
+def const_word(net: GateNetlist, value: int, bits: int) -> Word:
+    """A constant word built from CONST0/CONST1 gates."""
+    word = []
+    for i in range(bits):
+        gtype = GateType.CONST1 if (value >> i) & 1 else GateType.CONST0
+        word.append(net.add(gtype, name=f"const{value}b{i}"))
+    return word
+
+
+def input_word(net: GateNetlist, name: str, bits: int) -> Word:
+    """Declare ``bits`` primary-input bits named ``{name}[i]``."""
+    return [net.add_input(f"{name}[{i}]") for i in range(bits)]
+
+
+def full_adder(net: GateNetlist, a: int, b: int, cin: int) -> tuple[int, int]:
+    """(sum, carry-out) of one full-adder cell (9 gates via XOR form)."""
+    axb = net.add(GateType.XOR, (a, b))
+    s = net.add(GateType.XOR, (axb, cin))
+    t1 = net.add(GateType.AND, (a, b))
+    t2 = net.add(GateType.AND, (axb, cin))
+    cout = net.add(GateType.OR, (t1, t2))
+    return s, cout
+
+
+def ripple_adder(net: GateNetlist, a: Word, b: Word,
+                 cin: int | None = None) -> tuple[Word, int]:
+    """(sum word, carry-out) of a ripple-carry adder."""
+    if cin is None:
+        cin = net.add(GateType.CONST0)
+    out: Word = []
+    carry = cin
+    for abit, bbit in zip(a, b):
+        s, carry = full_adder(net, abit, bbit, carry)
+        out.append(s)
+    return out, carry
+
+
+def negate_word(net: GateNetlist, a: Word) -> Word:
+    """Bitwise complement of a word."""
+    return [net.add(GateType.NOT, (bit,)) for bit in a]
+
+
+def subtractor(net: GateNetlist, a: Word, b: Word) -> tuple[Word, int]:
+    """(a - b, borrow-free flag).
+
+    The returned flag is the adder's carry-out of ``a + ~b + 1``: 1
+    exactly when ``a >= b`` (no borrow).
+    """
+    cin = net.add(GateType.CONST1)
+    diff, carry = ripple_adder(net, a, negate_word(net, b), cin)
+    return diff, carry
+
+
+def equality(net: GateNetlist, a: Word, b: Word) -> int:
+    """1-bit a == b."""
+    bits = [net.add(GateType.XNOR, (x, y)) for x, y in zip(a, b)]
+    result = bits[0]
+    for bit in bits[1:]:
+        result = net.add(GateType.AND, (result, bit))
+    return result
+
+
+def less_than(net: GateNetlist, a: Word, b: Word) -> int:
+    """1-bit unsigned a < b (borrow of the subtractor)."""
+    _, no_borrow = subtractor(net, a, b)
+    return net.add(GateType.NOT, (no_borrow,))
+
+
+def array_multiplier(net: GateNetlist, a: Word, b: Word) -> Word:
+    """Truncated (low ``len(a)`` bits) unsigned array multiplier."""
+    bits = len(a)
+    # Partial products: pp[j] = a & b[j], shifted left by j, truncated.
+    acc: Word | None = None
+    for j in range(bits):
+        partial: Word = []
+        for i in range(bits - j):
+            partial.append(net.add(GateType.AND, (a[i], b[j])))
+        if acc is None:
+            acc = partial[:]
+            continue
+        # Add partial << j into acc (only bits j.. matter).
+        upper_acc = acc[j:]
+        summed, _ = ripple_adder(net, upper_acc, partial)
+        acc = acc[:j] + summed
+    assert acc is not None
+    return acc[:bits]
+
+
+def mux2_word(net: GateNetlist, sel: int, when1: Word, when0: Word) -> Word:
+    """Word-level 2:1 mux: sel ? when1 : when0."""
+    nsel = net.add(GateType.NOT, (sel,))
+    out: Word = []
+    for one, zero in zip(when1, when0):
+        t1 = net.add(GateType.AND, (sel, one))
+        t0 = net.add(GateType.AND, (nsel, zero))
+        out.append(net.add(GateType.OR, (t1, t0)))
+    return out
+
+
+def onehot_mux_word(net: GateNetlist, selects: list[int],
+                    words: list[Word]) -> Word:
+    """One-hot mux: OR over (select_i AND word_i); all-zero selects -> 0."""
+    bits = len(words[0])
+    out: Word = []
+    for i in range(bits):
+        terms = [net.add(GateType.AND, (sel, word[i]))
+                 for sel, word in zip(selects, words)]
+        acc = terms[0]
+        for term in terms[1:]:
+            acc = net.add(GateType.OR, (acc, term))
+        out.append(acc)
+    return out
+
+
+def gated_word(net: GateNetlist, enable: int, word: Word) -> Word:
+    """AND every bit with ``enable``."""
+    return [net.add(GateType.AND, (enable, bit)) for bit in word]
+
+
+def or_words(net: GateNetlist, words: list[Word]) -> Word:
+    """Bitwise OR of several words."""
+    acc = words[0]
+    for word in words[1:]:
+        acc = [net.add(GateType.OR, (x, y)) for x, y in zip(acc, word)]
+    return acc
+
+
+def bitwise(net: GateNetlist, gtype: GateType, a: Word, b: Word) -> Word:
+    """Bitwise binary operation."""
+    return [net.add(gtype, (x, y)) for x, y in zip(a, b)]
+
+
+def restoring_divider(net: GateNetlist, a: Word, b: Word) -> Word:
+    """Unsigned restoring array divider: quotient of a / b.
+
+    Division by zero yields the all-ones quotient (each trial subtract
+    "succeeds" because no borrow is ever produced against zero... the
+    borrow-free flag is 1 when remainder >= 0 - b = always for b = 0).
+    """
+    bits = len(a)
+    remainder: Word = [net.add(GateType.CONST0) for _ in range(bits)]
+    quotient: Word = [0] * bits
+    for step in range(bits - 1, -1, -1):
+        # remainder = (remainder << 1) | a[step]
+        remainder = [a[step]] + remainder[:-1]
+        diff, no_borrow = subtractor(net, remainder, b)
+        quotient[step] = no_borrow
+        remainder = mux2_word(net, no_borrow, diff, remainder)
+    return quotient
+
+
+def barrel_shifter(net: GateNetlist, a: Word, amount: Word,
+                   left: bool) -> Word:
+    """Shift ``a`` by ``amount mod bits`` using log-stage 2:1 muxes.
+
+    Only the low ``ceil(log2 bits)`` amount bits are consumed, which
+    realises the shift-mod-width semantics.
+    """
+    bits = len(a)
+    stages = max(1, (bits - 1).bit_length())
+    zero = net.add(GateType.CONST0)
+    current = a
+    for stage in range(stages):
+        distance = 1 << stage
+        if distance >= bits:
+            break
+        shifted: Word = []
+        for i in range(bits):
+            src = i - distance if left else i + distance
+            shifted.append(current[src] if 0 <= src < bits else zero)
+        current = mux2_word(net, amount[stage], shifted, current)
+    return current

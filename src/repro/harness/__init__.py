@@ -1,0 +1,28 @@
+"""Experiment harness: table/figure regeneration for the paper's §5."""
+
+from .experiment import (CellResult, ExperimentConfig, FLOW_ORDER,
+                         PAPER_PARAMS, run_benchmark_table, run_cell,
+                         synthesize_flow)
+from .figures import render_lifetimes, render_schedule, render_sharing
+from .report import load_rows, render_report, shape_checks, write_report
+from .tables import format_allocation, render_summary, render_table
+
+__all__ = [
+    "FLOW_ORDER",
+    "PAPER_PARAMS",
+    "CellResult",
+    "ExperimentConfig",
+    "format_allocation",
+    "load_rows",
+    "render_lifetimes",
+    "render_schedule",
+    "render_sharing",
+    "render_summary",
+    "render_report",
+    "render_table",
+    "shape_checks",
+    "write_report",
+    "run_benchmark_table",
+    "run_cell",
+    "synthesize_flow",
+]

@@ -1,0 +1,62 @@
+"""Schedule figures (paper Figures 1-3) as text renderings.
+
+Figure 2 and Figure 3 of the paper show the schedules the algorithm
+produces for Ex, Dct and Diffeq, annotated with the operations per
+control step; :func:`render_schedule` reproduces that view, and
+:func:`render_sharing` lists which operation groups share modules and
+which variable groups share registers, as the figure captions do.
+"""
+
+from __future__ import annotations
+
+from ..etpn.design import Design
+from ..sched import ops_by_step
+from .experiment import module_symbol
+
+
+def render_schedule(design: Design) -> str:
+    """The step-by-step schedule of a design, one line per step."""
+    grouped = ops_by_step(design.steps)
+    lines = [f"Schedule of {design.dfg.name} ({design.label}), "
+             f"{design.num_steps} control steps:"]
+    module_of = design.binding.module_of
+    for step in range(design.num_steps):
+        ops = grouped.get(step, [])
+        cells = [f"{op}@{module_of[op]}" for op in ops]
+        lines.append(f"  step {step}: " + (" | ".join(cells) or "(idle)"))
+    if design.dfg.loop_condition is not None:
+        lines.append(f"  loop while {design.dfg.loop_condition}")
+    return "\n".join(lines)
+
+
+def render_sharing(design: Design) -> str:
+    """Module and register sharing groups, as in the figure captions."""
+    lines = [f"Sharing in {design.dfg.name} ({design.label}):"]
+    for module, ops in design.binding.modules().items():
+        if len(ops) > 1:
+            symbol = module_symbol(design, module)
+            lines.append(f"  ops ({', '.join(ops)}) share {module} "
+                         f"({symbol})")
+    for register, variables in design.binding.registers().items():
+        if len(variables) > 1:
+            lines.append(f"  vars ({', '.join(variables)}) share "
+                         f"{register}")
+    return "\n".join(lines)
+
+
+def render_lifetimes(design: Design) -> str:
+    """An ASCII lifetime chart (birth..death bars per variable)."""
+    lifetimes = design.lifetimes
+    steps = design.num_steps
+    lines = [f"Variable lifetimes of {design.dfg.name} "
+             f"({design.label}):",
+             "  " + "var".ljust(8)
+             + "".join(f"{s:>3}" for s in range(-1, steps + 1))]
+    for name in sorted(lifetimes):
+        lt = lifetimes[name]
+        row = []
+        for step in range(-1, steps + 1):
+            occupied = lt.birth < step <= lt.death
+            row.append("  #" if occupied else "  .")
+        lines.append("  " + name.ljust(8) + "".join(row))
+    return "\n".join(lines)

@@ -1,0 +1,122 @@
+"""Markdown report generation from recorded benchmark rows.
+
+``pytest benchmarks/`` appends one JSON row per result to
+``benchmarks/out/rows.jsonl``; this module turns that file into the
+paper-vs-measured markdown used by EXPERIMENTS.md, so the document can
+be regenerated from a fresh run with one command
+(``python -m repro report``).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+_TABLE_TITLES = {"table1": "Table 1 — Ex", "table2": "Table 2 — Dct",
+                 "table3": "Table 3 — Diffeq"}
+_FLOW_TITLES = {"camad": "CAMAD", "approach1": "Approach 1",
+                "approach2": "Approach 2", "ours": "Ours"}
+_FLOW_ORDER = ["camad", "approach1", "approach2", "ours"]
+
+
+def load_rows(path: str | Path) -> list[dict]:
+    """Read a rows.jsonl file."""
+    rows = []
+    with open(path) as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                rows.append(json.loads(line))
+    return rows
+
+
+def _sorted_cells(rows: list[dict], kind: str) -> list[dict]:
+    cells = [r for r in rows if r.get("kind") == kind]
+    return sorted(cells, key=lambda r: (_FLOW_ORDER.index(r["flow"]),
+                                        r["bits"]))
+
+
+def table_markdown(rows: list[dict], kind: str) -> str:
+    """One paper table as paper-vs-measured markdown."""
+    cells = _sorted_cells(rows, kind)
+    if not cells:
+        return f"*(no rows recorded for {kind})*"
+    lines = [f"### {_TABLE_TITLES.get(kind, kind)}", "",
+             "| Flow | #Bit | Coverage (paper → ours) | Cycles "
+             "(paper → ours) | Area ours mm² |",
+             "|------|-----:|------------------------:|"
+             "----------------------:|--------------:|"]
+    for cell in cells:
+        paper_cov = cell.get("paper_coverage_pct", "—")
+        paper_cyc = cell.get("paper_test_cycles", "—")
+        lines.append(
+            f"| {_FLOW_TITLES[cell['flow']]} | {cell['bits']} "
+            f"| {paper_cov} → {cell['coverage_pct']} % "
+            f"| {paper_cyc} → {cell['test_cycles']} "
+            f"| {cell['area_mm2']} |")
+    return "\n".join(lines)
+
+
+def shape_checks(rows: list[dict], kind: str) -> list[tuple[str, bool]]:
+    """The qualitative claims EXPERIMENTS.md asserts, evaluated."""
+    cells = _sorted_cells(rows, kind)
+    if not cells:
+        return []
+    by = {(c["flow"], c["bits"]): c for c in cells}
+    bits_list = sorted({c["bits"] for c in cells})
+    checks = []
+    worst = all(
+        by[("camad", b)]["coverage_pct"]
+        <= min(by[(f, b)]["coverage_pct"] for f in _FLOW_ORDER if f != "camad")
+        + 0.5
+        for b in bits_list if ("camad", b) in by)
+    checks.append(("CAMAD has the worst coverage at every width", worst))
+    monotone = all(
+        by[(f, bits_list[i])]["coverage_pct"]
+        <= by[(f, bits_list[i + 1])]["coverage_pct"] + 1.0
+        for f in _FLOW_ORDER
+        for i in range(len(bits_list) - 1)
+        if (f, bits_list[i]) in by and (f, bits_list[i + 1]) in by)
+    checks.append(("coverage is (near-)monotone in bit width", monotone))
+    if ("ours", 16) in by:
+        best16 = by[("ours", 16)]["coverage_pct"] >= max(
+            by[(f, 16)]["coverage_pct"] for f in _FLOW_ORDER
+            if (f, 16) in by) - 1e-9
+        checks.append(("ours has the best 16-bit coverage", best16))
+        smallest = by[("ours", 16)]["area_mm2"] <= min(
+            by[(f, 16)]["area_mm2"] for f in _FLOW_ORDER if (f, 16) in by)
+        checks.append(("ours has the smallest 16-bit area", smallest))
+    return checks
+
+
+def render_report(rows: list[dict]) -> str:
+    """The complete markdown report."""
+    parts = ["# Benchmark report (generated)", ""]
+    for kind in ("table1", "table2", "table3"):
+        parts.append(table_markdown(rows, kind))
+        checks = shape_checks(rows, kind)
+        if checks:
+            parts.append("")
+            for claim, holds in checks:
+                parts.append(f"- {'✔' if holds else '✗'} {claim}")
+        parts.append("")
+    extras = [r for r in rows if r.get("kind") == "extra"]
+    if extras:
+        parts.append("### Extra benchmarks (4-bit)")
+        parts.append("")
+        parts.append("| Benchmark | Flow | Coverage | Cycles | Area |")
+        parts.append("|-----------|------|---------:|-------:|-----:|")
+        for row in sorted(extras, key=lambda r: (r["benchmark"],
+                                                 _FLOW_ORDER.index(r["flow"]))):
+            parts.append(f"| {row['benchmark']} | {row['flow']} "
+                         f"| {row['coverage_pct']} % | {row['test_cycles']} "
+                         f"| {row['area_mm2']} |")
+        parts.append("")
+    return "\n".join(parts)
+
+
+def write_report(rows_path: str | Path, output_path: str | Path) -> str:
+    """Load rows, render, write, and return the markdown."""
+    text = render_report(load_rows(rows_path))
+    Path(output_path).write_text(text + "\n")
+    return text

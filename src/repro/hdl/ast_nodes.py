@@ -1,0 +1,69 @@
+"""Abstract syntax tree of the behavioural HDL."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Union
+
+
+@dataclass(frozen=True)
+class NumberExpr:
+    """An integer literal."""
+
+    value: int
+
+
+@dataclass(frozen=True)
+class NameExpr:
+    """A variable reference."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class UnaryExpr:
+    """A unary operation (only ``~`` exists)."""
+
+    op: str
+    operand: "Expr"
+
+
+@dataclass(frozen=True)
+class BinaryExpr:
+    """A binary operation with the operator's source symbol."""
+
+    op: str
+    lhs: "Expr"
+    rhs: "Expr"
+
+
+Expr = Union[NumberExpr, NameExpr, UnaryExpr, BinaryExpr]
+
+
+@dataclass(frozen=True)
+class Assignment:
+    """``[label:] target := expr;`` — one behavioural statement."""
+
+    target: str
+    expr: Expr
+    label: Optional[str] = None
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class LoopSpec:
+    """``loop while expr;`` — repeat the whole behaviour while true."""
+
+    condition: Expr
+    line: int = 0
+
+
+@dataclass
+class DesignUnit:
+    """A parsed design: name, ports and the statement list."""
+
+    name: str
+    inputs: list[str] = field(default_factory=list)
+    outputs: list[str] = field(default_factory=list)
+    statements: list[Assignment] = field(default_factory=list)
+    loop: Optional[LoopSpec] = None

@@ -1,0 +1,87 @@
+"""Tokeniser for the behavioural HDL.
+
+The language is a deliberately small behavioural-VHDL replacement (the
+synthesis algorithm only ever sees the DFG the compiler produces, so
+any front end with the same output is equivalent — see DESIGN.md §3):
+
+* keywords: ``design input output begin end loop while``
+* operators: ``:= + - * / < > <= >= == != & | ^ ~``
+* punctuation: ``; : , ( )``
+* identifiers, unsigned integer literals, ``--`` line comments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import HDLSyntaxError
+
+KEYWORDS = frozenset({"design", "input", "output", "begin", "end", "loop",
+                      "while"})
+
+#: Multi-character operators first so maximal munch works.
+_SYMBOLS = [":=", "<=", ">=", "==", "!=", "+", "-", "*", "/", "<", ">",
+            "&", "|", "^", "~", ";", ":", ",", "(", ")"]
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token with its source position (1-based)."""
+
+    kind: str        # "ident", "number", "keyword", or the symbol itself
+    text: str
+    line: int
+    column: int
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return f"{self.kind}({self.text!r})@{self.line}:{self.column}"
+
+
+def tokenize(source: str) -> list[Token]:
+    """Tokenise HDL source; raises HDLSyntaxError on illegal characters."""
+    tokens: list[Token] = []
+    line, column = 1, 1
+    index = 0
+    length = len(source)
+    while index < length:
+        ch = source[index]
+        if ch == "\n":
+            line += 1
+            column = 1
+            index += 1
+            continue
+        if ch in " \t\r":
+            index += 1
+            column += 1
+            continue
+        if source.startswith("--", index):
+            while index < length and source[index] != "\n":
+                index += 1
+            continue
+        if ch.isalpha() or ch == "_":
+            start = index
+            while index < length and (source[index].isalnum()
+                                      or source[index] == "_"):
+                index += 1
+            text = source[start:index]
+            kind = "keyword" if text in KEYWORDS else "ident"
+            tokens.append(Token(kind, text, line, column))
+            column += index - start
+            continue
+        if ch.isdigit():
+            start = index
+            while index < length and source[index].isdigit():
+                index += 1
+            tokens.append(Token("number", source[start:index], line, column))
+            column += index - start
+            continue
+        for symbol in _SYMBOLS:
+            if source.startswith(symbol, index):
+                tokens.append(Token(symbol, symbol, line, column))
+                index += len(symbol)
+                column += len(symbol)
+                break
+        else:
+            raise HDLSyntaxError(f"illegal character {ch!r}", line, column)
+    tokens.append(Token("eof", "", line, column))
+    return tokens

@@ -1,0 +1,158 @@
+"""Recursive-descent parser for the behavioural HDL.
+
+Grammar (EBNF)::
+
+    design     := "design" ident ";" ports "begin" statement* loop? "end"
+    ports      := ("input" namelist ";" | "output" namelist ";")*
+    namelist   := ident ("," ident)*
+    statement  := [ident ":"] ident ":=" expr ";"
+    loop       := "loop" "while" expr ";"
+    expr       := cmp
+    cmp        := addsub (("<"|">"|"<="|">="|"=="|"!=") addsub)?
+    addsub     := bitop (("+"|"-") bitop)*
+    bitop      := muldiv (("&"|"|"|"^") muldiv)*
+    muldiv     := unary (("*"|"/") unary)*
+    unary      := "~" unary | "(" expr ")" | ident | number
+"""
+
+from __future__ import annotations
+
+from ..errors import HDLSyntaxError
+from .ast_nodes import (Assignment, BinaryExpr, DesignUnit, Expr, LoopSpec,
+                        NameExpr, NumberExpr, UnaryExpr)
+from .lexer import Token, tokenize
+
+_CMP_OPS = ("<", ">", "<=", ">=", "==", "!=")
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token]) -> None:
+        self.tokens = tokens
+        self.position = 0
+
+    # ------------------------------------------------------------------
+    def peek(self) -> Token:
+        return self.tokens[self.position]
+
+    def advance(self) -> Token:
+        token = self.tokens[self.position]
+        if token.kind != "eof":
+            self.position += 1
+        return token
+
+    def expect(self, kind: str, text: str | None = None) -> Token:
+        token = self.peek()
+        if token.kind != kind or (text is not None and token.text != text):
+            wanted = text or kind
+            raise HDLSyntaxError(f"expected {wanted!r}, found "
+                                 f"{token.text or 'end of file'!r}",
+                                 token.line, token.column)
+        return self.advance()
+
+    def accept(self, kind: str, text: str | None = None) -> Token | None:
+        token = self.peek()
+        if token.kind == kind and (text is None or token.text == text):
+            return self.advance()
+        return None
+
+    # ------------------------------------------------------------------
+    def parse_design(self) -> DesignUnit:
+        self.expect("keyword", "design")
+        name = self.expect("ident").text
+        self.expect(";")
+        unit = DesignUnit(name)
+        while True:
+            if self.accept("keyword", "input"):
+                unit.inputs.extend(self._namelist())
+                self.expect(";")
+            elif self.accept("keyword", "output"):
+                unit.outputs.extend(self._namelist())
+                self.expect(";")
+            else:
+                break
+        self.expect("keyword", "begin")
+        while not (self.peek().kind == "keyword"
+                   and self.peek().text in ("end", "loop")):
+            unit.statements.append(self._statement())
+        if self.accept("keyword", "loop"):
+            self.expect("keyword", "while")
+            token = self.peek()
+            condition = self._expr()
+            self.expect(";")
+            unit.loop = LoopSpec(condition, line=token.line)
+        self.expect("keyword", "end")
+        self.accept(";")
+        self.expect("eof")
+        return unit
+
+    def _namelist(self) -> list[str]:
+        names = [self.expect("ident").text]
+        while self.accept(","):
+            names.append(self.expect("ident").text)
+        return names
+
+    def _statement(self) -> Assignment:
+        first = self.expect("ident")
+        label = None
+        if self.accept(":"):
+            label = first.text
+            target = self.expect("ident").text
+        else:
+            target = first.text
+        self.expect(":=")
+        expr = self._expr()
+        self.expect(";")
+        return Assignment(target, expr, label=label, line=first.line)
+
+    # ------------------------------------------------------------------
+    def _expr(self) -> Expr:
+        lhs = self._addsub()
+        token = self.peek()
+        if token.kind in _CMP_OPS:
+            self.advance()
+            rhs = self._addsub()
+            return BinaryExpr(token.kind, lhs, rhs)
+        return lhs
+
+    def _addsub(self) -> Expr:
+        lhs = self._bitop()
+        while self.peek().kind in ("+", "-"):
+            op = self.advance().kind
+            lhs = BinaryExpr(op, lhs, self._bitop())
+        return lhs
+
+    def _bitop(self) -> Expr:
+        lhs = self._muldiv()
+        while self.peek().kind in ("&", "|", "^"):
+            op = self.advance().kind
+            lhs = BinaryExpr(op, lhs, self._muldiv())
+        return lhs
+
+    def _muldiv(self) -> Expr:
+        lhs = self._unary()
+        while self.peek().kind in ("*", "/"):
+            op = self.advance().kind
+            lhs = BinaryExpr(op, lhs, self._unary())
+        return lhs
+
+    def _unary(self) -> Expr:
+        token = self.peek()
+        if token.kind == "~":
+            self.advance()
+            return UnaryExpr("~", self._unary())
+        if token.kind == "(":
+            self.advance()
+            inner = self._expr()
+            self.expect(")")
+            return inner
+        if token.kind == "ident":
+            return NameExpr(self.advance().text)
+        if token.kind == "number":
+            return NumberExpr(int(self.advance().text))
+        raise HDLSyntaxError(f"unexpected {token.text or 'end of file'!r} "
+                             f"in expression", token.line, token.column)
+
+
+def parse(source: str) -> DesignUnit:
+    """Parse HDL source text into a :class:`DesignUnit`."""
+    return _Parser(tokenize(source)).parse_design()

@@ -1,0 +1,64 @@
+"""Critical-path extraction from the reachability tree (paper §4.2).
+
+The minimum execution time ``E`` of a design equals the length of the
+critical path: the sequence of control places dominating the time a
+token needs to flow from the initial place to the final place.  For a
+looping control part the reachability tree covers each loop once, so
+``E`` is the per-iteration critical path — exactly the quantity the
+merger transformations may lengthen.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .net import PetriNet
+from .reachability import ReachabilityTree, TreeNode
+
+
+@dataclass(frozen=True)
+class CriticalPath:
+    """The result of critical-path analysis.
+
+    Attributes:
+        length: execution time in control steps (sum of place delays).
+        places: the dominating sequence of control places.
+        transitions: transition ids fired along the path.
+    """
+
+    length: int
+    places: tuple[str, ...]
+    transitions: tuple[str, ...]
+
+
+def critical_path(net: PetriNet, max_nodes: int = 100_000) -> CriticalPath:
+    """Compute the critical path of ``net`` via its reachability tree.
+
+    The critical end nodes are the final-marking nodes when any exist
+    (terminating nets) or the duplicate leaves otherwise (one iteration
+    of a non-terminating loop).
+    """
+    tree = ReachabilityTree(net, max_nodes=max_nodes)
+    candidates = tree.final_nodes() or tree.leaves()
+    best = max(candidates, key=lambda n: n.time)
+    return _path_result(tree, best)
+
+
+def execution_time(net: PetriNet, max_nodes: int = 100_000) -> int:
+    """Shorthand for ``critical_path(net).length``."""
+    return critical_path(net, max_nodes=max_nodes).length
+
+
+def _path_result(tree: ReachabilityTree, node: TreeNode) -> CriticalPath:
+    path = tree.path_to(node)
+    places: list[str] = []
+    transitions: list[str] = []
+    previous: frozenset[str] = frozenset()
+    for step in path:
+        entered = step.marking - previous
+        places.extend(sorted(p for p in entered
+                             if tree.net.places[p].delay > 0))
+        if step.via is not None:
+            transitions.append(step.via.trans_id)
+        previous = step.marking
+    return CriticalPath(node.time, tuple(places), tuple(transitions))

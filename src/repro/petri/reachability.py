@@ -1,0 +1,109 @@
+"""Reachability-tree construction (Peterson 1981, as cited by the paper).
+
+The tree enumerates all markings reachable from the initial marking.  A
+branch stops at a *duplicate* node — a marking already seen on the path
+from the root (Peterson's "old" nodes) — which keeps the tree finite for
+looping control parts while still covering one full traversal of every
+loop.  The critical-path extractor (:mod:`repro.petri.critical_path`)
+walks this tree.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..errors import PetriNetError
+from .net import PetriNet, Transition
+
+
+@dataclass
+class TreeNode:
+    """One node of the reachability tree.
+
+    Attributes:
+        marking: the marking at this node.
+        parent: index of the parent node, or None for the root.
+        via: the transition fired to reach this node, or None for root.
+        time: accumulated place delays from the root to this marking.
+        duplicate: True when this marking already appeared on the root
+            path (the branch is not expanded further).
+    """
+
+    marking: frozenset[str]
+    parent: Optional[int]
+    via: Optional[Transition]
+    time: int
+    duplicate: bool = False
+    children: list[int] = field(default_factory=list)
+
+
+class ReachabilityTree:
+    """The reachability tree of a safe timed Petri net."""
+
+    def __init__(self, net: PetriNet, max_nodes: int = 100_000) -> None:
+        net.validate()
+        self.net = net
+        self.nodes: list[TreeNode] = []
+        self._build(max_nodes)
+
+    def _build(self, max_nodes: int) -> None:
+        root_time = sum(self.net.places[p].delay
+                        for p in self.net.initial_marking)
+        # Time bookkeeping: entering a marking costs the delay of the
+        # newly-marked places; the root pays for the initially marked ones.
+        self.nodes.append(TreeNode(self.net.initial_marking, None, None,
+                                   root_time))
+        stack = [0]
+        while stack:
+            index = stack.pop()
+            node = self.nodes[index]
+            if node.duplicate or self.net.is_final(node.marking):
+                continue
+            for transition in self.net.enabled(node.marking):
+                after = self.net.fire(node.marking, transition)
+                entered = after - node.marking
+                step = sum(self.net.places[p].delay for p in entered)
+                child = TreeNode(after, index, transition, node.time + step)
+                child.duplicate = self._on_root_path(index, after)
+                child_index = len(self.nodes)
+                if child_index >= max_nodes:
+                    raise PetriNetError(
+                        f"{self.net.name}: reachability tree exceeds "
+                        f"{max_nodes} nodes")
+                self.nodes.append(child)
+                node.children.append(child_index)
+                stack.append(child_index)
+
+    def _on_root_path(self, index: int, marking: frozenset[str]) -> bool:
+        current: Optional[int] = index
+        while current is not None:
+            if self.nodes[current].marking == marking:
+                return True
+            current = self.nodes[current].parent
+        return False
+
+    # ------------------------------------------------------------------
+    def leaves(self) -> list[TreeNode]:
+        """Nodes with no expanded children (final, duplicate or dead)."""
+        return [n for n in self.nodes if not n.children]
+
+    def final_nodes(self) -> list[TreeNode]:
+        """Nodes whose marking contains a final place."""
+        return [n for n in self.nodes if self.net.is_final(n.marking)]
+
+    def reachable_markings(self) -> set[frozenset[str]]:
+        """The set of distinct markings in the tree."""
+        return {n.marking for n in self.nodes}
+
+    def path_to(self, node: TreeNode) -> list[TreeNode]:
+        """Root-to-node path."""
+        path = [node]
+        while path[-1].parent is not None:
+            path.append(self.nodes[path[-1].parent])
+        path.reverse()
+        return path
+
+    def is_safe(self) -> bool:
+        """True — safeness is enforced during firing; kept for symmetry."""
+        return True

@@ -1,0 +1,22 @@
+"""Word-level RTL: generation, controller derivation and simulation."""
+
+from .components import RTLDesign, Ref, RegisterSpec, UnitSpec
+from .controller import ControlTable, build_control_table
+from .generate import generate_rtl
+from .semantics import apply_op, evaluate_dfg, mask
+from .simulate import SimResult, simulate_rtl
+
+__all__ = [
+    "ControlTable",
+    "RTLDesign",
+    "Ref",
+    "RegisterSpec",
+    "SimResult",
+    "UnitSpec",
+    "apply_op",
+    "build_control_table",
+    "evaluate_dfg",
+    "generate_rtl",
+    "mask",
+    "simulate_rtl",
+]

@@ -1,0 +1,94 @@
+"""The FSM controller: a control table derived from schedule + binding.
+
+Phase 0 is the pre-load phase (input variables whose first use is in
+step 0 are clocked into their registers); phase ``t+1`` drives control
+step ``t`` of the schedule.  Each phase maps control-signal names (the
+ones :meth:`RTLDesign.control_signals` lists) to 1; unlisted signals
+are 0.  During test the ATPG drives these same signals directly — the
+paper's assumption that the controller can be modified to support the
+test plan.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..dfg.graph import Const
+from ..etpn.design import Design
+from ..errors import NetlistError
+from .components import RTLDesign, Ref, const_ref, port_ref, reg_ref, unit_ref
+from .generate import _operand_ref
+
+
+@dataclass
+class ControlTable:
+    """Per-phase control-signal assignments."""
+
+    phases: list[dict[str, int]] = field(default_factory=list)
+
+    @property
+    def phase_count(self) -> int:
+        return len(self.phases)
+
+    def signal(self, phase: int, name: str) -> int:
+        """Value of a control signal in a phase (default 0)."""
+        return self.phases[phase].get(name, 0)
+
+
+def _source_index(sources: list[Ref], wanted: Ref, context: str) -> int:
+    try:
+        return sources.index(wanted)
+    except ValueError:
+        raise NetlistError(f"{context}: source {wanted} not in mux "
+                           f"{[str(s) for s in sources]}") from None
+
+
+def build_control_table(design: Design, rtl: RTLDesign) -> ControlTable:
+    """Derive the controller's control table from the design."""
+    dfg = design.dfg
+    num_steps = design.num_steps
+    phases: list[dict[str, int]] = [dict() for _ in range(num_steps + 1)]
+
+    # Input-variable loads: an input is clocked into its register at the
+    # end of the step before its first use (phase = birth step + 1).
+    for var in dfg.inputs():
+        register = design.binding.register_of.get(var.name)
+        if register is None:
+            continue
+        uses = dfg.uses_of(var.name)
+        if not uses:
+            continue
+        load_phase = min(design.steps[u] for u in uses)  # birth + 1
+        spec = rtl.registers[register]
+        assignment = phases[load_phase]
+        assignment[spec.load_signal()] = 1
+        if spec.needs_mux():
+            index = _source_index(spec.sources, port_ref(f"in_{var.name}"),
+                                  f"load of {var.name}")
+            assignment[spec.select_signal(index)] = 1
+
+    # Operation execution: unit op select + port muxes during the step,
+    # destination register load at the step's end.
+    for op_id, step in design.steps.items():
+        op = dfg.operation(op_id)
+        module = design.binding.module_of[op_id]
+        unit = rtl.units[module]
+        assignment = phases[step + 1]
+        if unit.needs_op_select():
+            assignment[unit.op_signal(op.kind)] = 1
+        for port, operand in enumerate(op.srcs):
+            sources = unit.port_sources[port]
+            if len(sources) > 1:
+                index = _source_index(sources, _operand_ref(design, operand),
+                                      f"{op_id} port {port}")
+                assignment[unit.select_signal(port, index)] = 1
+        if op.dst is not None and not dfg.variables[op.dst].is_condition:
+            register = design.binding.register_of[op.dst]
+            spec = rtl.registers[register]
+            assignment[spec.load_signal()] = 1
+            if spec.needs_mux():
+                index = _source_index(spec.sources, unit_ref(module),
+                                      f"{op_id} writeback")
+                assignment[spec.select_signal(index)] = 1
+
+    return ControlTable(phases)

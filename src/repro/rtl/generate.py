@@ -1,0 +1,67 @@
+"""Generate word-level RTL from a synthesised design."""
+
+from __future__ import annotations
+
+from ..dfg.graph import Const
+from ..etpn.design import Design
+from ..errors import NetlistError
+from .components import (RTLDesign, Ref, RegisterSpec, UnitSpec, const_ref,
+                         port_ref, reg_ref, unit_ref)
+
+
+def _operand_ref(design: Design, operand) -> Ref:
+    if isinstance(operand, Const):
+        return const_ref(operand.value)
+    register = design.binding.register_of.get(operand)
+    if register is None:
+        raise NetlistError(f"operand {operand!r} has no register")
+    return reg_ref(register)
+
+
+def generate_rtl(design: Design, bits: int) -> RTLDesign:
+    """Build the RTL netlist of ``design`` at the given bit width.
+
+    Source orderings inside register and unit-port muxes are sorted and
+    therefore deterministic; the control table (see
+    :mod:`repro.rtl.controller`) indexes into the same orderings.
+    """
+    dfg = design.dfg
+    rtl = RTLDesign(name=dfg.name, bits=bits)
+
+    for register, variables in design.binding.registers().items():
+        spec = RegisterSpec(register)
+        sources: set[Ref] = set()
+        for var in variables:
+            if dfg.variables[var].is_input:
+                sources.add(port_ref(f"in_{var}"))
+            for def_op in dfg.defs_of(var):
+                sources.add(unit_ref(design.binding.module_of[def_op]))
+        spec.sources = sorted(sources, key=str)
+        rtl.registers[register] = spec
+
+    for module, ops in design.binding.modules().items():
+        spec = UnitSpec(module)
+        kinds = sorted({dfg.operation(o).kind for o in ops},
+                       key=lambda k: k.name)
+        spec.kinds = kinds
+        port_sources: dict[int, set[Ref]] = {}
+        for op_id in ops:
+            op = dfg.operation(op_id)
+            for port, operand in enumerate(op.srcs):
+                port_sources.setdefault(port, set()).add(
+                    _operand_ref(design, operand))
+        spec.port_sources = {port: sorted(refs, key=str)
+                             for port, refs in sorted(port_sources.items())}
+        rtl.units[module] = spec
+
+    rtl.in_ports = [f"in_{v.name}" for v in dfg.inputs()]
+    for var in dfg.outputs():
+        register = design.binding.register_of.get(var.name)
+        if register is not None:
+            rtl.out_ports[f"out_{var.name}"] = register
+    for cond in dfg.condition_variables():
+        def_ops = dfg.defs_of(cond)
+        if not def_ops:
+            raise NetlistError(f"condition {cond!r} has no defining op")
+        rtl.cond_ports[f"cond_{cond}"] = design.binding.module_of[def_ops[0]]
+    return rtl

@@ -1,0 +1,100 @@
+"""Reference word-level semantics of every operation kind.
+
+Single source of truth shared by the DFG interpreter, the RTL
+functional simulator and the gate-level equivalence tests: whatever
+:func:`apply_op` computes is what the hardware must compute.
+
+Conventions (all values unsigned, ``bits`` wide):
+
+* arithmetic wraps modulo ``2**bits``;
+* comparisons return 0 or 1;
+* division by zero returns the all-ones word (the restoring divider's
+  natural behaviour), and the remainder is discarded;
+* shift amounts are taken modulo ``bits``.
+"""
+
+from __future__ import annotations
+
+from ..dfg.ops import OpKind
+
+
+def mask(bits: int) -> int:
+    """The all-ones word at the given width."""
+    return (1 << bits) - 1
+
+
+def apply_op(kind: OpKind, a: int, b: int, bits: int) -> int:
+    """Compute one operation on unsigned words."""
+    m = mask(bits)
+    a &= m
+    b &= m
+    if kind == OpKind.ADD:
+        return (a + b) & m
+    if kind == OpKind.SUB:
+        return (a - b) & m
+    if kind == OpKind.MUL:
+        return (a * b) & m
+    if kind == OpKind.DIV:
+        return (a // b) & m if b else m
+    if kind == OpKind.LT:
+        return int(a < b)
+    if kind == OpKind.GT:
+        return int(a > b)
+    if kind == OpKind.LE:
+        return int(a <= b)
+    if kind == OpKind.GE:
+        return int(a >= b)
+    if kind == OpKind.EQ:
+        return int(a == b)
+    if kind == OpKind.NE:
+        return int(a != b)
+    if kind == OpKind.AND:
+        return a & b
+    if kind == OpKind.OR:
+        return a | b
+    if kind == OpKind.XOR:
+        return a ^ b
+    if kind == OpKind.NOT:
+        return (~a) & m
+    if kind == OpKind.SHL:
+        return (a << (b % bits)) & m
+    if kind == OpKind.SHR:
+        return (a >> (b % bits)) & m
+    if kind == OpKind.MOVE:
+        return a
+    raise ValueError(f"unknown operation kind {kind!r}")
+
+
+def evaluate_dfg(dfg, inputs: dict[str, int], bits: int) -> dict[str, int]:
+    """Interpret a DFG once (one loop-body iteration) at word level.
+
+    Args:
+        dfg: the data-flow graph.
+        inputs: value per primary-input variable.
+        bits: word width.
+
+    Returns:
+        The final value of every variable (including conditions).
+
+    Raises:
+        KeyError: when an input variable is missing from ``inputs``.
+    """
+    from ..dfg.graph import Const
+
+    values: dict[str, int] = {}
+    for var in dfg.inputs():
+        values[var.name] = inputs[var.name] & mask(bits)
+    for op_id in dfg.op_order:
+        op = dfg.operation(op_id)
+        operands = []
+        for src in op.srcs:
+            if isinstance(src, Const):
+                operands.append(src.value & mask(bits))
+            else:
+                operands.append(values[src])
+        if len(operands) == 1:
+            operands.append(0)
+        result = apply_op(op.kind, operands[0], operands[1], bits)
+        if op.dst is not None:
+            values[op.dst] = result
+    return values

@@ -1,0 +1,34 @@
+"""Partial/full scan: selection, chain insertion and evaluation.
+
+An extension beyond the paper's non-scan setting, following its related
+work (Mujumdar's loop elimination, Lee's sequential-depth rule): the
+same structural metrics that drive the synthesis algorithm also tell a
+DFT tool *which* registers to scan.
+"""
+
+from .atpg import ScanTestCost, unroll_full_scan
+from .expand import (SCAN_ENABLE, SCAN_IN, SCAN_OUT, ScanChain,
+                     chain_bits_for_registers, insert_scan_chain,
+                     scan_load_sequence)
+from .evaluate import ScanResult, evaluate_scan, scan_overhead_mm2
+from .selection import (register_dependency_graph, select_by_depth,
+                        select_full, select_loop_breaking)
+
+__all__ = [
+    "SCAN_ENABLE",
+    "SCAN_IN",
+    "SCAN_OUT",
+    "ScanChain",
+    "ScanResult",
+    "ScanTestCost",
+    "chain_bits_for_registers",
+    "evaluate_scan",
+    "insert_scan_chain",
+    "register_dependency_graph",
+    "scan_load_sequence",
+    "scan_overhead_mm2",
+    "select_by_depth",
+    "select_full",
+    "select_loop_breaking",
+    "unroll_full_scan",
+]

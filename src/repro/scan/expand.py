@@ -1,0 +1,107 @@
+"""Scan-chain insertion at the gate level.
+
+Given an expanded netlist and a set of registers to scan, threads their
+bits into one chain: every scanned flip-flop's D input becomes
+``scan_enable ? previous_chain_bit : functional_D``, the chain head
+reads the new ``scan_in`` input and the tail drives ``scan_out``.
+
+Insertion happens *after* expansion, so it works identically for the
+free-control and embedded-controller netlists.  The chain mux gates are
+appended at the end of the gate list; that is legal because DFF D
+values are only consumed at the clock edge (the compiled simulator
+evaluates in id order and reads D drivers in its epilogue).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import NetlistError
+from ..gates.netlist import Gate, GateNetlist, GateType
+
+SCAN_ENABLE = "scan_enable"
+SCAN_IN = "scan_in"
+SCAN_OUT = "scan_out"
+
+
+@dataclass(frozen=True)
+class ScanChain:
+    """The inserted chain: DFF gate ids in scan order."""
+
+    bits: tuple[int, ...]
+
+    @property
+    def length(self) -> int:
+        return len(self.bits)
+
+
+def chain_bits_for_registers(netlist: GateNetlist,
+                             registers: list[str]) -> list[int]:
+    """DFF gate ids of the named registers, in chain order.
+
+    Register bits are matched by the ``{register}[{i}]`` DFF naming the
+    expander uses.
+    """
+    bits: list[int] = []
+    for register in registers:
+        prefix = f"{register}["
+        register_bits = [g.gid for g in netlist.dffs()
+                         if g.name.startswith(prefix)]
+        if not register_bits:
+            raise NetlistError(f"no DFF bits found for register "
+                               f"{register!r}")
+        bits.extend(sorted(register_bits,
+                           key=lambda gid: netlist.gates[gid].name))
+    return bits
+
+
+def insert_scan_chain(netlist: GateNetlist,
+                      registers: list[str]) -> ScanChain:
+    """Thread the named registers into a scan chain (in place).
+
+    Returns the chain; an empty register list is rejected.
+    """
+    if not registers:
+        raise NetlistError("scan chain needs at least one register")
+    if SCAN_ENABLE in netlist.inputs:
+        raise NetlistError("netlist already has a scan chain")
+    bits = chain_bits_for_registers(netlist, registers)
+    enable = netlist.add_input(SCAN_ENABLE)
+    scan_in = netlist.add_input(SCAN_IN)
+    not_enable = netlist.add(GateType.NOT, (enable,))
+    previous = scan_in
+    for dff_gid in bits:
+        gate = netlist.gates[dff_gid]
+        if gate.gtype != GateType.DFF or not gate.fanins:
+            raise NetlistError(f"gate {dff_gid} is not a connected DFF")
+        functional_d = gate.fanins[0]
+        shift = netlist.add(GateType.AND, (enable, previous))
+        hold = netlist.add(GateType.AND, (not_enable, functional_d))
+        new_d = netlist.add(GateType.OR, (shift, hold),
+                            name=f"scan_d_{gate.name}")
+        netlist.gates[dff_gid] = Gate(dff_gid, GateType.DFF, (new_d,),
+                                      gate.name)
+        previous = dff_gid
+    netlist.set_output(SCAN_OUT, previous)
+    return ScanChain(tuple(bits))
+
+
+def scan_load_sequence(circuit_inputs: list[str], chain: ScanChain,
+                       state_bits: list[int],
+                       fill: dict[str, int] | None = None
+                       ) -> list[dict[str, int]]:
+    """Input vectors that shift ``state_bits`` into the chain.
+
+    ``state_bits[i]`` is the value the i-th chain bit should hold after
+    loading (chain order).  The last chain bit's value is shifted in
+    first.  ``fill`` provides the values of all other inputs while
+    shifting (default 0).
+    """
+    fill = fill or {}
+    vectors = []
+    for value in reversed(state_bits):
+        cycle = {name: fill.get(name, 0) for name in circuit_inputs}
+        cycle[SCAN_ENABLE] = 1
+        cycle[SCAN_IN] = value & 1
+        vectors.append(cycle)
+    return vectors

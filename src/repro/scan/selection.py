@@ -1,0 +1,105 @@
+"""Partial-scan register selection.
+
+The paper's related work (Mujumdar et al., Lee et al.) motivates two
+selection heuristics, both of which fall out of machinery this library
+already has:
+
+* **loop breaking** — registers on module↔register cycles make
+  sequential ATPG hard; a greedy minimum-feedback-vertex-set pass over
+  the register dependency graph picks the registers whose scanning
+  cuts every cycle;
+* **depth reduction** — registers with the worst controllable→
+  observable sequential depth (rule SR1's metric) benefit most from
+  direct scan access.
+
+Both return register ids of the data path; :mod:`repro.scan.expand`
+threads the selected registers into a scan chain.
+"""
+
+from __future__ import annotations
+
+from ..etpn.datapath import DataPath, NodeKind
+from ..testability.depth import register_depths
+
+
+def register_dependency_graph(datapath: DataPath) -> dict[str, set[str]]:
+    """reg -> set(reg): an edge when a value can flow through one module.
+
+    Register r feeds register s when some module reads r and writes s
+    (combinational transfer within one clock).
+    """
+    graph: dict[str, set[str]] = {r.node_id: set()
+                                  for r in datapath.registers()}
+    for module in datapath.modules():
+        reads = {a.src for a in datapath.incoming(module.node_id)
+                 if datapath.nodes[a.src].kind == NodeKind.REGISTER}
+        writes = {a.dst for a in datapath.outgoing(module.node_id)
+                  if datapath.nodes[a.dst].kind == NodeKind.REGISTER}
+        for src in reads:
+            graph[src] |= writes
+    return graph
+
+
+def _has_cycle(graph: dict[str, set[str]], removed: set[str]) -> list[str]:
+    """One cycle (as a node list) in graph minus ``removed``, or []."""
+    WHITE, GREY, BLACK = 0, 1, 2
+    colour = {n: WHITE for n in graph if n not in removed}
+    stack_path: list[str] = []
+
+    def dfs(node: str) -> list[str]:
+        colour[node] = GREY
+        stack_path.append(node)
+        for succ in sorted(graph[node]):
+            if succ in removed:
+                continue
+            if colour[succ] == GREY:
+                return stack_path[stack_path.index(succ):]
+            if colour[succ] == WHITE:
+                found = dfs(succ)
+                if found:
+                    return found
+        colour[node] = BLACK
+        stack_path.pop()
+        return []
+
+    for node in sorted(colour):
+        if colour[node] == WHITE:
+            cycle = dfs(node)
+            if cycle:
+                return list(cycle)
+    return []
+
+
+def select_loop_breaking(datapath: DataPath) -> list[str]:
+    """Greedy feedback-vertex-set: scan registers until no cycle remains.
+
+    Each round finds one remaining cycle and scans the cycle member
+    with the highest degree in the dependency graph (ties by name), the
+    classic Lee/Mujumdar-style greedy.
+    """
+    graph = register_dependency_graph(datapath)
+    removed: set[str] = set()
+    while True:
+        cycle = _has_cycle(graph, removed)
+        if not cycle:
+            break
+        chosen = max(cycle,
+                     key=lambda r: (len(graph[r])
+                                    + sum(r in graph[s] for s in graph), r))
+        removed.add(chosen)
+    return sorted(removed)
+
+
+def select_by_depth(datapath: DataPath, budget: int) -> list[str]:
+    """Scan the ``budget`` registers with the worst SR1 depth."""
+    if budget <= 0:
+        return []
+    depths = register_depths(datapath)
+    ranked = sorted(depths.values(),
+                    key=lambda d: (-d.total, d.register))
+    return sorted(d.register for d in ranked[:budget])
+
+
+def select_full(datapath: DataPath) -> list[str]:
+    """Every register (full scan)."""
+    return sorted(r.node_id for r in datapath.registers())

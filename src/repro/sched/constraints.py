@@ -1,0 +1,77 @@
+"""Schedule legality: precedence and merger-imposed constraints.
+
+Two families of constraints govern a schedule:
+
+* *precedence*: every dependence edge of the DFG must be respected
+  (flow/output edges need at least the producer's delay between the two
+  operations, anti edges allow sharing a step);
+* *binding*: operations sharing a module occupy distinct steps, and
+  variables sharing a register have disjoint lifetimes (checked by
+  :func:`repro.alloc.binding.validate_binding`).
+
+Mergers add binding constraints; rescheduling discharges them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..dfg import DFG
+from ..dfg.analysis import edge_latency
+from ..dfg.graph import DependenceEdge
+from ..errors import ScheduleError
+from .schedule import assert_complete
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One violated precedence edge."""
+
+    edge: DependenceEdge
+    src_step: int
+    dst_step: int
+    required_gap: int
+
+    def __str__(self) -> str:  # pragma: no cover - debug helper
+        return (f"{self.edge.kind} {self.edge.src}@{self.src_step} -> "
+                f"{self.edge.dst}@{self.dst_step} needs gap "
+                f">= {self.required_gap}")
+
+
+def precedence_violations(dfg: DFG, steps: dict[str, int],
+                          delays: dict[str, int] | None = None
+                          ) -> list[Violation]:
+    """All dependence edges violated by ``steps``."""
+    violations = []
+    for edge in dfg.edges():
+        gap = edge_latency(dfg, edge, delays)
+        if steps[edge.dst] - steps[edge.src] < gap:
+            violations.append(Violation(edge, steps[edge.src],
+                                        steps[edge.dst], gap))
+    return violations
+
+
+def check_precedence(dfg: DFG, steps: dict[str, int],
+                     delays: dict[str, int] | None = None) -> None:
+    """Raise :class:`ScheduleError` when any dependence is violated."""
+    assert_complete(dfg, steps)
+    violations = precedence_violations(dfg, steps, delays)
+    if violations:
+        detail = "; ".join(str(v) for v in violations[:5])
+        raise ScheduleError(f"{dfg.name}: {len(violations)} precedence "
+                            f"violations: {detail}")
+
+
+def module_conflicts(steps: dict[str, int],
+                     module_groups: dict[str, list[str]]) -> list[tuple[str, str, str]]:
+    """(module, op_a, op_b) triples of same-step operations sharing a module."""
+    conflicts = []
+    for module, ops in module_groups.items():
+        by_step: dict[int, str] = {}
+        for op_id in ops:
+            step = steps[op_id]
+            if step in by_step:
+                conflicts.append((module, by_step[step], op_id))
+            else:
+                by_step[step] = op_id
+    return conflicts

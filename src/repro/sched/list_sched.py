@@ -1,0 +1,82 @@
+"""Resource-constrained list scheduling.
+
+A classic priority-driven scheduler used as a utility (and by tests as
+an independent reference point for the FDS implementation): given a
+limit on the number of units per class, operations are placed step by
+step, highest-urgency first.
+"""
+
+from __future__ import annotations
+
+from ..dfg import DFG, unit_class, UnitClass
+from ..dfg.analysis import alap_steps, critical_path_length, edge_latency
+from ..errors import ScheduleError
+
+_MAX_STEPS = 10_000
+
+
+def list_schedule(dfg: DFG, resources: dict[UnitClass, int],
+                  delays: dict[str, int] | None = None) -> dict[str, int]:
+    """Schedule under per-class unit limits.
+
+    Args:
+        dfg: the data-flow graph.
+        resources: maximum simultaneously-busy units per class; classes
+            absent from the map are unconstrained.
+        delays: per-op delays (default 1).
+
+    Returns:
+        A complete schedule.  Priority is ALAP urgency (least slack
+        first), the standard list-scheduling heuristic.
+
+    Raises:
+        ScheduleError: if a class limit is not positive.
+    """
+    for cls, limit in resources.items():
+        if limit <= 0:
+            raise ScheduleError(f"resource limit for {cls} must be positive")
+    urgency = alap_steps(dfg, horizon=critical_path_length(dfg, delays)
+                         + len(dfg.operations), delays=delays)
+    unscheduled = set(dfg.operations)
+    steps: dict[str, int] = {}
+    step = 0
+    while unscheduled:
+        if step > _MAX_STEPS:
+            raise ScheduleError(f"{dfg.name}: list scheduling exceeded "
+                                f"{_MAX_STEPS} steps")
+        busy: dict[UnitClass, int] = {}
+        ready = []
+        for op_id in sorted(unscheduled):
+            ok = True
+            for edge in dfg.predecessors(op_id):
+                if edge.src in unscheduled:
+                    ok = False
+                    break
+                if steps[edge.src] + edge_latency(dfg, edge, delays) > step:
+                    ok = False
+                    break
+            if ok:
+                ready.append(op_id)
+        ready.sort(key=lambda o: (urgency[o], o))
+        for op_id in ready:
+            cls = unit_class(dfg.operation(op_id).kind)
+            limit = resources.get(cls)
+            if limit is not None and busy.get(cls, 0) >= limit:
+                continue
+            steps[op_id] = step
+            busy[cls] = busy.get(cls, 0) + 1
+            unscheduled.discard(op_id)
+        step += 1
+    return steps
+
+
+def peak_usage(dfg: DFG, steps: dict[str, int]) -> dict[UnitClass, int]:
+    """Maximum number of same-class ops sharing any control step."""
+    usage: dict[tuple[UnitClass, int], int] = {}
+    for op in dfg:
+        key = (unit_class(op.kind), steps[op.op_id])
+        usage[key] = usage.get(key, 0) + 1
+    peaks: dict[UnitClass, int] = {}
+    for (cls, _), count in usage.items():
+        peaks[cls] = max(peaks.get(cls, 0), count)
+    return peaks

@@ -1,0 +1,133 @@
+"""Candidate pair selection by the C/O balance principle (Algorithm 1,
+step 6).
+
+Every structurally-compatible pair of modules (same unit class) and
+pair of registers is a potential merger; the testability analysis ranks
+them so that good-C/bad-O nodes fold onto good-O/bad-C nodes, and pairs
+that would create module↔register self-loops sink to the bottom (the
+paper wants "as few loops as possible").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..etpn.design import Design
+from ..testability import TestabilityAnalysis, balance_score
+
+
+@dataclass(frozen=True)
+class CandidatePair:
+    """One ranked merger candidate."""
+
+    kind: str       # "module" or "register"
+    node_a: str
+    node_b: str
+
+
+def _creates_self_loop(design: Design, kind: str, a: str, b: str) -> bool:
+    """Would merging ``a`` and ``b`` close a module↔register loop?"""
+    dp = design.datapath
+    if kind == "module":
+        reads_a = {arc.src for arc in dp.incoming(a)}
+        reads_b = {arc.src for arc in dp.incoming(b)}
+        feeds_a = {arc.dst for arc in dp.outgoing(a)}
+        feeds_b = {arc.dst for arc in dp.outgoing(b)}
+        return bool((feeds_a & reads_b) or (feeds_b & reads_a))
+    producers_a = {arc.src for arc in dp.incoming(a)}
+    producers_b = {arc.src for arc in dp.incoming(b)}
+    consumers_a = {arc.dst for arc in dp.outgoing(a)}
+    consumers_b = {arc.dst for arc in dp.outgoing(b)}
+    return bool((producers_a & consumers_b) or (producers_b & consumers_a))
+
+
+def compatible_pairs(design: Design) -> list[CandidatePair]:
+    """All structurally-compatible merger pairs of the current design."""
+    from ..alloc.binding import module_unit_class
+
+    pairs: list[CandidatePair] = []
+    modules = sorted(design.binding.modules())
+    classes = {m: module_unit_class(design.dfg, design.binding, m)
+               for m in modules}
+    for i, a in enumerate(modules):
+        for b in modules[i + 1:]:
+            if classes[a] == classes[b]:
+                pairs.append(CandidatePair("module", a, b))
+    registers = sorted(design.binding.registers())
+    for i, a in enumerate(registers):
+        for b in registers[i + 1:]:
+            pairs.append(CandidatePair("register", a, b))
+    return pairs
+
+
+def _post_merge_depth(design: Design, pair: CandidatePair) -> float:
+    """Mean controllable→observable register depth after the merge.
+
+    A cheap structural preview (no rescheduling): it realises rule SR1 —
+    prefer folds that shorten the path from controllable to observable
+    registers — directly in candidate ranking.
+    """
+    from ..etpn.datapath import DataPath
+    from ..testability.depth import register_depths
+
+    if pair.kind == "module":
+        binding = design.binding.merge_modules(pair.node_a, pair.node_b)
+    else:
+        binding = design.binding.merge_registers(pair.node_a, pair.node_b)
+    depths = register_depths(DataPath(design.dfg, binding))
+    if not depths:
+        return 0.0
+    return sum(d.total for d in depths.values()) / len(depths)
+
+
+def rank_candidates(design: Design, analysis: TestabilityAnalysis,
+                    pairs: list[CandidatePair] | None = None
+                    ) -> list[CandidatePair]:
+    """Rank merger pairs by the C/O balance principle.
+
+    The primary key is the merged node's balance quality (quantised so
+    near-ties fall through); ties break towards folds that shorten the
+    mean sequential depth (SR1), avoid creating self-loops, and have
+    the most complementary parents.
+    """
+    if pairs is None:
+        pairs = compatible_pairs(design)
+    nodes = analysis.all_nodes()
+
+    def key(pair: CandidatePair):
+        score = balance_score(nodes[pair.node_a], nodes[pair.node_b])
+        quality, complement = score.key()
+        loop = _creates_self_loop(design, pair.kind, pair.node_a, pair.node_b)
+        return (-quality, -complement, loop, pair.kind, pair.node_a,
+                pair.node_b)
+
+    return sorted(pairs, key=key)
+
+
+def top_k(design: Design, analysis: TestabilityAnalysis,
+          k: int) -> list[CandidatePair]:
+    """The k best-balanced merger candidates (Algorithm 1, step 6)."""
+    return rank_candidates(design, analysis)[:max(k, 1)]
+
+
+def rank_candidates_connectivity(design: Design,
+                                 pairs: list[CandidatePair] | None = None
+                                 ) -> list[CandidatePair]:
+    """Ablation ranking: conventional connectivity/closeness order.
+
+    The §3 strawman — prefer merging the nodes that share the most
+    neighbours (minimising muxes), ignoring testability.  Used by the
+    A1 ablation bench to quantify what the balance principle buys.
+    """
+    if pairs is None:
+        pairs = compatible_pairs(design)
+    dp = design.datapath
+
+    def closeness(pair: CandidatePair) -> int:
+        def neighbours(node: str) -> set[str]:
+            return ({a.src for a in dp.incoming(node)}
+                    | {a.dst for a in dp.outgoing(node)})
+        return len(neighbours(pair.node_a) & neighbours(pair.node_b))
+
+    return sorted(pairs, key=lambda p: (-closeness(p), p.kind, p.node_a,
+                                        p.node_b))

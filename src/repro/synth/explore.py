@@ -1,0 +1,93 @@
+"""Design-space exploration: the Pareto front over (E, H, testability).
+
+Sweeps Algorithm 1's user parameters and, for every distinct design
+produced, records execution time, hardware cost and testability
+quality; dominated points are filtered out.  This is the tool a user
+runs to pick (k, α, β) for a new behaviour instead of guessing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..cost import CostModel
+from ..dfg import DFG
+from ..etpn.design import Design
+from ..testability import analyze
+from .algorithm import SynthesisParams, synthesize
+
+#: The default sweep grid: the paper's settings plus the extremes that
+#: actually move the result (k and the α/β ratio).
+DEFAULT_GRID = [
+    (1, 2.0, 1.0), (3, 2.0, 1.0), (6, 2.0, 1.0),
+    (3, 10.0, 1.0), (3, 1.0, 10.0), (6, 1.0, 10.0),
+]
+
+
+@dataclass(frozen=True)
+class DesignPoint:
+    """One explored design with its three objectives."""
+
+    params: tuple[int, float, float]
+    execution_time: int
+    hardware_mm2: float
+    quality: float                       # higher is better
+    design: Design = field(compare=False, hash=False, repr=False)
+
+    def dominates(self, other: "DesignPoint") -> bool:
+        """Pareto dominance: no worse everywhere, better somewhere."""
+        no_worse = (self.execution_time <= other.execution_time
+                    and self.hardware_mm2 <= other.hardware_mm2 + 1e-12
+                    and self.quality >= other.quality - 1e-12)
+        better = (self.execution_time < other.execution_time
+                  or self.hardware_mm2 < other.hardware_mm2 - 1e-12
+                  or self.quality > other.quality + 1e-12)
+        return no_worse and better
+
+
+def explore(dfg: DFG, cost_model: CostModel | None = None,
+            grid: list[tuple[int, float, float]] | None = None
+            ) -> list[DesignPoint]:
+    """Sweep the grid and return every distinct design point."""
+    cost_model = cost_model or CostModel()
+    points: list[DesignPoint] = []
+    seen: set[tuple] = set()
+    for k, alpha, beta in (grid or DEFAULT_GRID):
+        result = synthesize(dfg, SynthesisParams(k=k, alpha=alpha,
+                                                 beta=beta), cost_model)
+        design = result.design
+        signature = (tuple(sorted(design.steps.items())),
+                     tuple(sorted(design.binding.module_of.items())),
+                     tuple(sorted(design.binding.register_of.items())))
+        if signature in seen:
+            continue
+        seen.add(signature)
+        points.append(DesignPoint(
+            params=(k, alpha, beta),
+            execution_time=design.execution_time,
+            hardware_mm2=cost_model.hardware_total(design.datapath),
+            quality=analyze(design.datapath).design_quality(),
+            design=design))
+    return points
+
+
+def pareto_front(points: list[DesignPoint]) -> list[DesignPoint]:
+    """The non-dominated subset, sorted by execution time."""
+    front = [p for p in points
+             if not any(q.dominates(p) for q in points)]
+    return sorted(front, key=lambda p: (p.execution_time, p.hardware_mm2))
+
+
+def render_front(points: list[DesignPoint]) -> str:
+    """A text table of a point set (front or full sweep)."""
+    lines = [f"{'(k, a, b)':<16} {'E':>3} {'H mm2':>8} {'quality':>8} "
+             f"{'mods':>4} {'regs':>4}"]
+    for point in points:
+        k, alpha, beta = point.params
+        lines.append(f"({k}, {alpha:g}, {beta:g})".ljust(16)
+                     + f" {point.execution_time:>3}"
+                     f" {point.hardware_mm2:>8.3f}"
+                     f" {point.quality:>8.3f}"
+                     f" {point.design.binding.module_count():>4}"
+                     f" {point.design.binding.register_count():>4}")
+    return "\n".join(lines)

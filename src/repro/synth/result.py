@@ -1,0 +1,49 @@
+"""Synthesis results: the final design plus the merger history."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..etpn.design import Design
+
+
+@dataclass(frozen=True)
+class MergeRecord:
+    """One accepted merger of the synthesis run."""
+
+    iteration: int
+    kind: str
+    kept: str
+    absorbed: str
+    delta_e: float
+    delta_h: float
+    delta_c: float
+    order: tuple[str, ...]
+
+
+@dataclass
+class SynthesisResult:
+    """Everything a synthesis flow returns.
+
+    Attributes:
+        design: the final ETPN design point.
+        history: accepted mergers in application order (empty for the
+            one-shot baseline flows).
+        params: the (k, α, β) and bit width the run used.
+    """
+
+    design: Design
+    history: list[MergeRecord] = field(default_factory=list)
+    params: dict = field(default_factory=dict)
+
+    @property
+    def iterations(self) -> int:
+        """Number of mergers applied."""
+        return len(self.history)
+
+    def summary(self) -> dict:
+        """Merge the design's structural summary with run metadata."""
+        info = dict(self.design.summary())
+        info["iterations"] = self.iterations
+        info["label"] = self.design.label
+        return info

@@ -1,0 +1,229 @@
+"""Testability analysis: CC/SC/CO/SO propagation over a data path.
+
+Reimplementation of the analysis the paper takes from Gu, Kuchcinski &
+Peng (EURO-DAC'94): combinational values start at the primary inputs
+(CC=1, SC=0) and propagate forward to the primary outputs; observability
+propagates backward from the outputs (CO=1, SO=0).  Register stages add
+one unit of sequential cost; functional modules attenuate combinational
+values by per-operation transfer factors.  Data-path loops are handled
+by fixpoint relaxation (the updates are monotone, so iteration
+converges).
+
+Condition lines count as observable outputs because the paper assumes
+the controller can be modified to support the test plan (§1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..dfg.ops import OpKind
+from ..etpn.datapath import DataPath, DataPathArc, NodeKind
+from .metrics import LineTestability, NodeTestability, UNREACHABLE_DEPTH
+
+#: Combinational transfer factor: how much of a value's controllability
+#: survives justification through each operation.
+CTF = {
+    OpKind.ADD: 0.95, OpKind.SUB: 0.95,
+    OpKind.MUL: 0.55, OpKind.DIV: 0.45,
+    OpKind.LT: 0.50, OpKind.GT: 0.50, OpKind.LE: 0.50, OpKind.GE: 0.50,
+    OpKind.EQ: 0.50, OpKind.NE: 0.50,
+    OpKind.AND: 0.80, OpKind.OR: 0.80, OpKind.XOR: 0.90, OpKind.NOT: 1.00,
+    OpKind.SHL: 0.85, OpKind.SHR: 0.85,
+    OpKind.MOVE: 1.00,
+}
+
+#: Observational transfer factor: how much observability survives
+#: propagation of a fault effect through each operation.
+OTF = {
+    OpKind.ADD: 0.95, OpKind.SUB: 0.95,
+    OpKind.MUL: 0.45, OpKind.DIV: 0.35,
+    OpKind.LT: 0.30, OpKind.GT: 0.30, OpKind.LE: 0.30, OpKind.GE: 0.30,
+    OpKind.EQ: 0.30, OpKind.NE: 0.30,
+    OpKind.AND: 0.70, OpKind.OR: 0.70, OpKind.XOR: 0.90, OpKind.NOT: 1.00,
+    OpKind.SHL: 0.80, OpKind.SHR: 0.80,
+    OpKind.MOVE: 1.00,
+}
+
+#: A constant line justifies one fixed value: half-controllable.
+CONST_CC = 0.5
+
+_EPS = 1e-9
+_MAX_ITERATIONS = 200
+
+
+@dataclass(frozen=True)
+class _CV:
+    """A (combinational, sequential) controllability or observability pair."""
+
+    c: float
+    s: float
+
+    def score(self) -> float:
+        return self.c / (1.0 + self.s)
+
+    def better(self, other: "_CV") -> bool:
+        return self.score() > other.score() + _EPS
+
+
+_ZERO = _CV(0.0, UNREACHABLE_DEPTH)
+
+
+class TestabilityAnalysis:
+    """CC/SC/CO/SO values for every arc and node of a data path."""
+
+    def __init__(self, datapath: DataPath) -> None:
+        self.datapath = datapath
+        self._out_ctrl: dict[str, _CV] = {}
+        self._arc_obs: dict[tuple[str, str, int], _CV] = {}
+        self._node_obs: dict[str, _CV] = {}
+        self._run_forward()
+        self._run_backward()
+
+    # ------------------------------------------------------------------
+    # Forward: controllability
+    # ------------------------------------------------------------------
+    def _module_ctf(self, node_id: str) -> float:
+        """Best transfer factor over the ops a module can execute."""
+        node = self.datapath.nodes[node_id]
+        return max(CTF[self.datapath.dfg.operation(o).kind] for o in node.ops)
+
+    def _module_otf(self, node_id: str) -> float:
+        node = self.datapath.nodes[node_id]
+        return max(OTF[self.datapath.dfg.operation(o).kind] for o in node.ops)
+
+    def _port_ctrl(self, node_id: str, port: int) -> _CV:
+        """Controllability of one input port: best source wins (a mux
+        lets the test choose the easiest path)."""
+        best = _ZERO
+        for src in self.datapath.sources_of_port(node_id, port):
+            value = self._out_ctrl.get(src, _ZERO)
+            if value.better(best):
+                best = value
+        return best
+
+    def _run_forward(self) -> None:
+        dp = self.datapath
+        for node in dp.nodes.values():
+            if node.kind == NodeKind.PORT_IN:
+                self._out_ctrl[node.node_id] = _CV(1.0, 0.0)
+            elif node.kind == NodeKind.CONST:
+                self._out_ctrl[node.node_id] = _CV(CONST_CC, 0.0)
+            else:
+                self._out_ctrl[node.node_id] = _ZERO
+        order = sorted(dp.nodes)
+        for _ in range(_MAX_ITERATIONS):
+            changed = False
+            for node_id in order:
+                node = dp.nodes[node_id]
+                if node.kind == NodeKind.REGISTER:
+                    inp = self._port_ctrl(node_id, 0)
+                    candidate = _CV(inp.c, min(inp.s + 1.0, UNREACHABLE_DEPTH))
+                elif node.kind == NodeKind.MODULE:
+                    ports = dp.input_ports(node_id)
+                    if not ports:
+                        continue
+                    values = [self._port_ctrl(node_id, p) for p in ports]
+                    cc = self._module_ctf(node_id) * min(v.c for v in values)
+                    sc = max(v.s for v in values)
+                    candidate = _CV(cc, sc)
+                else:
+                    continue
+                if candidate.better(self._out_ctrl[node_id]):
+                    self._out_ctrl[node_id] = candidate
+                    changed = True
+            if not changed:
+                break
+
+    # ------------------------------------------------------------------
+    # Backward: observability
+    # ------------------------------------------------------------------
+    def _arc_observability(self, arc: DataPathArc) -> _CV:
+        dst = self.datapath.nodes[arc.dst]
+        if dst.kind in (NodeKind.PORT_OUT, NodeKind.COND):
+            return _CV(1.0, 0.0)
+        if dst.kind == NodeKind.REGISTER:
+            out = self._node_obs.get(arc.dst, _ZERO)
+            return _CV(out.c, min(out.s + 1.0, UNREACHABLE_DEPTH))
+        if dst.kind == NodeKind.MODULE:
+            out = self._node_obs.get(arc.dst, _ZERO)
+            side_cc = 1.0
+            for port in self.datapath.input_ports(arc.dst):
+                if port != arc.port:
+                    side_cc = min(side_cc, self._port_ctrl(arc.dst, port).c)
+            return _CV(self._module_otf(arc.dst) * out.c * side_cc, out.s)
+        return _ZERO
+
+    def _run_backward(self) -> None:
+        dp = self.datapath
+        for node_id in dp.nodes:
+            self._node_obs[node_id] = _ZERO
+        for _ in range(_MAX_ITERATIONS):
+            changed = False
+            for node_id in sorted(dp.nodes):
+                best = _ZERO
+                for arc in dp.outgoing(node_id):
+                    value = self._arc_observability(arc)
+                    if value.better(best):
+                        best = value
+                if best.better(self._node_obs[node_id]):
+                    self._node_obs[node_id] = best
+                    changed = True
+            if not changed:
+                break
+        self._arc_obs = {(a.src, a.dst, a.port): self._arc_observability(a)
+                         for a in dp.arcs}
+
+    # ------------------------------------------------------------------
+    # Public accessors
+    # ------------------------------------------------------------------
+    def line(self, arc: DataPathArc) -> LineTestability:
+        """The four measures of one arc."""
+        ctrl = self._out_ctrl.get(arc.src, _ZERO)
+        obs = self._arc_obs.get((arc.src, arc.dst, arc.port), _ZERO)
+        return LineTestability(cc=ctrl.c, sc=ctrl.s, co=obs.c, so=obs.s)
+
+    def node(self, node_id: str) -> NodeTestability:
+        """Node-level testability (paper §3).
+
+        Controllability = best input line; observability = best output
+        line.  Ports use their intrinsic values.
+        """
+        dp = self.datapath
+        kind = dp.nodes[node_id].kind
+        if kind in (NodeKind.PORT_IN, NodeKind.CONST):
+            ctrl = self._out_ctrl[node_id]
+        else:
+            incoming = dp.incoming(node_id)
+            ctrl = _ZERO
+            for arc in incoming:
+                value = self._out_ctrl.get(arc.src, _ZERO)
+                if value.better(ctrl):
+                    ctrl = value
+        if kind in (NodeKind.PORT_OUT, NodeKind.COND):
+            obs = _CV(1.0, 0.0)
+        else:
+            obs = self._node_obs[node_id]
+        return NodeTestability(node_id, cc=ctrl.c, sc=ctrl.s,
+                               co=obs.c, so=obs.s)
+
+    def all_nodes(self) -> dict[str, NodeTestability]:
+        """Node testability for every data-path node."""
+        return {node_id: self.node(node_id) for node_id in self.datapath.nodes}
+
+    def design_quality(self) -> float:
+        """Mean worst-dimension score over modules and registers.
+
+        A single scalar used by tests and ablation benches to compare
+        the overall testability of two designs.
+        """
+        interesting = [n.node_id for n in self.datapath.modules()
+                       + self.datapath.registers()]
+        if not interesting:
+            return 0.0
+        return sum(self.node(n).quality for n in interesting) / len(interesting)
+
+
+def analyze(datapath: DataPath) -> TestabilityAnalysis:
+    """Run the testability analysis algorithm on a data path."""
+    return TestabilityAnalysis(datapath)

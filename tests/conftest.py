@@ -1,0 +1,54 @@
+"""Shared fixtures: small hand-built DFGs used across the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dfg import DFGBuilder
+
+
+@pytest.fixture
+def chain_dfg():
+    """Three-op chain: x = a*b; y = x+c; z = y-d."""
+    b = DFGBuilder("chain")
+    b.inputs("a", "b", "c", "d")
+    b.op("N1", "*", "x", "a", "b")
+    b.op("N2", "+", "y", "x", "c")
+    b.op("N3", "-", "z", "y", "d")
+    b.outputs("z")
+    return b.build()
+
+
+@pytest.fixture
+def diamond_dfg():
+    """Diamond: two independent mults feeding an add."""
+    b = DFGBuilder("diamond")
+    b.inputs("a", "b", "c", "d")
+    b.op("N1", "*", "x", "a", "b")
+    b.op("N2", "*", "y", "c", "d")
+    b.op("N3", "+", "z", "x", "y")
+    b.outputs("z")
+    return b.build()
+
+
+@pytest.fixture
+def multidef_dfg():
+    """Accumulating variable: u1 = u - e; u1 = u1 - f (as in Diffeq)."""
+    b = DFGBuilder("multidef")
+    b.inputs("u", "e", "f")
+    b.op("N1", "-", "u1", "u", "e")
+    b.op("N2", "-", "u1", "u1", "f")
+    b.outputs("u1")
+    return b.build()
+
+
+@pytest.fixture
+def loop_dfg():
+    """Loop body with a comparison driving the back edge."""
+    b = DFGBuilder("loop")
+    b.inputs("x", "dx", "a")
+    b.op("N1", "+", "x1", "x", "dx")
+    b.compare("N2", "<", "c", "x1", "a")
+    b.outputs("x1")
+    b.loop("c")
+    return b.build()

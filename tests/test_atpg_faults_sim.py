@@ -1,0 +1,125 @@
+"""Unit tests for fault lists and the parallel-fault simulator."""
+
+import pytest
+
+from repro.atpg import Fault, FaultSimulator, full_fault_list, sample_faults
+from repro.gates import CompiledCircuit, GateNetlist, GateType
+
+
+def and_circuit():
+    net = GateNetlist("and2")
+    a = net.add_input("a")
+    b = net.add_input("b")
+    g = net.add(GateType.AND, (a, b))
+    net.set_output("o", g)
+    return net, a, b, g
+
+
+class TestFaultLists:
+    def test_two_faults_per_gate(self):
+        net, a, b, g = and_circuit()
+        faults = full_fault_list(net)
+        assert Fault(g, 0) in faults and Fault(g, 1) in faults
+        assert Fault(a, 0) in faults
+        assert len(faults) == 6
+
+    def test_const_faults_collapsed(self):
+        net = GateNetlist("c")
+        c0 = net.add(GateType.CONST0)
+        c1 = net.add(GateType.CONST1)
+        net.set_output("a", c0)
+        net.set_output("b", c1)
+        faults = set(full_fault_list(net))
+        assert faults == {Fault(c0, 1), Fault(c1, 0)}
+
+    def test_buf_not_collapsed_away(self):
+        net = GateNetlist("b")
+        a = net.add_input("a")
+        buf = net.add(GateType.BUF, (a,))
+        inv = net.add(GateType.NOT, (a,))
+        net.set_output("x", buf)
+        net.set_output("y", inv)
+        gids = {f.gid for f in full_fault_list(net)}
+        assert buf not in gids and inv not in gids
+        assert a in gids
+
+    def test_sampling(self):
+        net, *_ = and_circuit()
+        faults = full_fault_list(net)
+        sampled = sample_faults(faults, 0.5, seed=3)
+        assert len(sampled) == 3
+        assert set(sampled) <= set(faults)
+        assert sample_faults(faults, 1.0) == faults
+
+    def test_sampling_deterministic(self):
+        net, *_ = and_circuit()
+        faults = full_fault_list(net)
+        assert sample_faults(faults, 0.5, 1) == sample_faults(faults, 0.5, 1)
+
+    def test_bad_fraction(self):
+        with pytest.raises(ValueError):
+            sample_faults([], 0.0)
+
+
+class TestFaultSimulation:
+    def test_combinational_detection(self):
+        net, a, b, g = and_circuit()
+        sim = FaultSimulator(CompiledCircuit(net))
+        # a=1,b=1 -> o=1 detects o/sa0; a=0 -> o=0 detects o/sa1.
+        detected = sim.run_sequence([{"a": 1, "b": 1}, {"a": 0, "b": 0}],
+                                    [Fault(g, 0), Fault(g, 1)])
+        assert detected == {Fault(g, 0), Fault(g, 1)}
+
+    def test_undetected_without_activation(self):
+        net, a, b, g = and_circuit()
+        sim = FaultSimulator(CompiledCircuit(net))
+        # o is 0 in the good machine; sa0 never observed.
+        detected = sim.run_sequence([{"a": 0, "b": 1}], [Fault(g, 0)])
+        assert detected == set()
+
+    def test_input_fault_masked_by_gate(self):
+        net, a, b, g = and_circuit()
+        sim = FaultSimulator(CompiledCircuit(net))
+        # a/sa1 with b=0 is masked by the AND gate.
+        assert sim.run_sequence([{"a": 0, "b": 0}], [Fault(a, 1)]) == set()
+        assert sim.run_sequence([{"a": 0, "b": 1}],
+                                [Fault(a, 1)]) == {Fault(a, 1)}
+
+    def test_sequential_fault_needs_time(self):
+        # q' = q | a; o = q.  q/sa0 needs a 1 loaded, then observed.
+        net = GateNetlist("seq")
+        q = net.add_dff("q")
+        a = net.add_input("a")
+        d = net.add(GateType.OR, (q, a))
+        net.connect_dff(q, d)
+        net.set_output("o", q)
+        sim = FaultSimulator(CompiledCircuit(net))
+        fault = Fault(q, 0)
+        # One cycle: fault effect not yet at the flop output (both 0).
+        assert sim.run_sequence([{"a": 1}], [fault]) == set()
+        # Two cycles: good machine shows 1, faulty stuck at 0.
+        assert sim.run_sequence([{"a": 1}, {"a": 0}], [fault]) == {fault}
+
+    def test_more_than_63_faults(self):
+        """Fault grouping across multiple passes."""
+        net = GateNetlist("wide")
+        inputs = [net.add_input(f"i{k}") for k in range(40)]
+        gates = []
+        for k, gid in enumerate(inputs):
+            g = net.add(GateType.NOT, (gid,))
+            gates.append(g)
+            net.set_output(f"o{k}", g)
+        sim = FaultSimulator(CompiledCircuit(net))
+        faults = [Fault(g, v) for g in gates for v in (0, 1)]
+        assert len(faults) == 80  # > 63: needs two groups
+        vec_all0 = {f"i{k}": 0 for k in range(40)}   # outputs all 1
+        vec_all1 = {f"i{k}": 1 for k in range(40)}   # outputs all 0
+        detected = sim.run_sequence([vec_all0, vec_all1], faults)
+        assert detected == set(faults)
+
+    def test_stats_accumulate(self):
+        net, a, b, g = and_circuit()
+        sim = FaultSimulator(CompiledCircuit(net))
+        sim.run_sequence([{"a": 1, "b": 1}], [Fault(g, 0)])
+        assert sim.stats.cycles_simulated >= 1
+        assert sim.stats.groups_simulated == 1

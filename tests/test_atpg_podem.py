@@ -1,0 +1,127 @@
+"""Unit tests for time-frame unrolling and PODEM."""
+
+import pytest
+
+from repro.atpg import Fault, FaultSimulator, PodemEngine, unroll
+from repro.atpg.unroll import OP_BUF, OP_CONST0, OP_PI
+from repro.gates import CompiledCircuit, GateNetlist, GateType
+
+
+def comb_net():
+    """o = (a & b) | ~c."""
+    net = GateNetlist("comb")
+    a = net.add_input("a")
+    b = net.add_input("b")
+    c = net.add_input("c")
+    g1 = net.add(GateType.AND, (a, b))
+    g2 = net.add(GateType.NOT, (c,))
+    g3 = net.add(GateType.OR, (g1, g2))
+    net.set_output("o", g3)
+    return net, (a, b, c, g1, g2, g3)
+
+
+def seq_net():
+    """q' = q ^ a; o = q & b (fault on q needs >= 2 frames)."""
+    net = GateNetlist("seq")
+    q = net.add_dff("q")
+    a = net.add_input("a")
+    b = net.add_input("b")
+    d = net.add(GateType.XOR, (q, a))
+    net.connect_dff(q, d)
+    o = net.add(GateType.AND, (q, b))
+    net.set_output("o", o)
+    return net, q
+
+
+class TestUnroll:
+    def test_frame_count_and_sites(self):
+        net, gids = comb_net()
+        model = unroll(net, 3)
+        for gid in gids:
+            assert len(model.site_uids[gid]) == 3
+
+    def test_dff_frame0_is_reset(self):
+        net, q = seq_net()
+        model = unroll(net, 2)
+        frame0_q = model.site_uids[q][0]
+        assert model.ops[frame0_q] == OP_BUF
+        reset = model.fanins[frame0_q][0]
+        assert model.ops[reset] == OP_CONST0
+
+    def test_dff_chains_frames(self):
+        net, q = seq_net()
+        model = unroll(net, 2)
+        frame1_q = model.site_uids[q][1]
+        # Frame 1's q reads frame 0's D logic (the XOR), not a const.
+        assert model.ops[model.fanins[frame1_q][0]] not in (OP_CONST0, OP_PI)
+
+    def test_pis_per_frame(self):
+        net, _ = seq_net()
+        model = unroll(net, 3)
+        assert len(model.pi_names) == 2 * 3
+        assert len(model.po_names) == 3
+
+    def test_depth_monotone(self):
+        net, gids = comb_net()
+        model = unroll(net, 1)
+        assert all(model.depth[model.fanins[u][0]] < model.depth[u]
+                   for u in range(model.size) if model.fanins[u])
+
+
+class TestPodemCombinational:
+    @pytest.mark.parametrize("stuck", [0, 1])
+    def test_and_gate_fault(self, stuck):
+        net, (a, b, c, g1, g2, g3) = comb_net()
+        engine = PodemEngine(unroll(net, 1))
+        result = engine.generate(Fault(g1, stuck))
+        assert result.success
+        # Verify with the fault simulator.
+        sim = FaultSimulator(CompiledCircuit(net))
+        vector = {name: result.assignment.get((0, name), 0)
+                  for name in ("a", "b", "c")}
+        assert Fault(g1, stuck) in sim.run_sequence([vector],
+                                                    [Fault(g1, stuck)])
+
+    def test_untestable_fault_proven(self):
+        # o = a | ~a is constantly 1: the OR output sa1 is untestable.
+        net = GateNetlist("redundant")
+        a = net.add_input("a")
+        n = net.add(GateType.NOT, (a,))
+        o = net.add(GateType.OR, (a, n))
+        net.set_output("o", o)
+        engine = PodemEngine(unroll(net, 1))
+        result = engine.generate(Fault(o, 1))
+        assert not result.success
+        assert not result.aborted  # proven, not given up
+
+    def test_effort_counted(self):
+        net, (a, b, c, g1, g2, g3) = comb_net()
+        engine = PodemEngine(unroll(net, 1))
+        result = engine.generate(Fault(g1, 0))
+        assert result.stats.implications > 0
+        assert result.stats.effort >= result.stats.implications
+
+
+class TestPodemSequential:
+    def test_needs_two_frames(self):
+        net, q = seq_net()
+        assert not PodemEngine(unroll(net, 1)).generate(Fault(q, 0)).success
+        result = PodemEngine(unroll(net, 2)).generate(Fault(q, 0))
+        assert result.success
+
+    def test_sequential_test_validates(self):
+        net, q = seq_net()
+        result = PodemEngine(unroll(net, 2)).generate(Fault(q, 0))
+        sim = FaultSimulator(CompiledCircuit(net))
+        sequence = [
+            {name: result.assignment.get((frame, name), 0)
+             for name in ("a", "b")}
+            for frame in range(2)]
+        assert Fault(q, 0) in sim.run_sequence(sequence, [Fault(q, 0)])
+
+    def test_backtrack_limit_aborts(self):
+        net, q = seq_net()
+        engine = PodemEngine(unroll(net, 2), max_backtracks=0,
+                             max_implications=1)
+        result = engine.generate(Fault(q, 0))
+        assert not result.success

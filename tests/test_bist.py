@@ -1,0 +1,143 @@
+"""Unit and integration tests for the BIST extension."""
+
+import pytest
+
+from repro.bench import load
+from repro.bist import (LFSR, LaneMISR, PlanBistResult, bilbo_overhead_mm2,
+                        evaluate_design_bist, evaluate_unit_bist, plan_bist,
+                        taps_for, unit_netlist)
+from repro.dfg import OpKind
+from repro.errors import ATPGError
+from repro.synth import run_camad, run_ours
+
+
+class TestLFSR:
+    def test_maximal_period_small_widths(self):
+        for width in (2, 3, 4, 5, 6, 7, 8):
+            lfsr = LFSR(width, seed=1)
+            assert lfsr.period() == 2 ** width - 1
+
+    def test_never_all_zero(self):
+        lfsr = LFSR(4, seed=0)     # zero seed is corrected
+        assert lfsr.state != 0
+        for _ in range(40):
+            assert lfsr.step() != 0
+
+    def test_deterministic(self):
+        assert LFSR(8, seed=5).sequence(20) == LFSR(8, seed=5).sequence(20)
+
+    def test_unsupported_width(self):
+        with pytest.raises(ATPGError):
+            taps_for(999)
+
+
+class TestLaneMISR:
+    def test_same_stream_same_signature(self):
+        a = LaneMISR(8)
+        b = LaneMISR(8)
+        for value in (0b1010, 0b0110, 0b1111):
+            bits = [(value >> i) & 1 for i in range(4)]
+            a.absorb([(-(bit)) & ((1 << 64) - 1) for bit in bits])
+            b.absorb([(-(bit)) & ((1 << 64) - 1) for bit in bits])
+        assert a.signature(0) == b.signature(0)
+        assert a.differing_lanes() == 0
+
+    def test_lane_independence(self):
+        misr = LaneMISR(8)
+        # Lane 3 sees a different stream than lane 0.
+        lane3 = 1 << 3
+        misr.absorb([lane3, 0, 0, 0])
+        misr.absorb([0, 0, 0, 0])
+        assert misr.differing_lanes() & lane3
+        assert misr.signature(3) != misr.signature(0)
+
+    def test_width_guard(self):
+        with pytest.raises(ATPGError):
+            LaneMISR(2).absorb([0, 0, 0])
+
+
+class TestPlanning:
+    def test_sessions_per_module(self):
+        design = run_ours(load("ex")).design
+        plan = plan_bist(design.datapath)
+        assert len(plan.sessions) == design.binding.module_count()
+
+    def test_conflicts_match_self_loops(self):
+        design = run_camad(load("ex")).design
+        plan = plan_bist(design.datapath)
+        self_loops = design.datapath.self_loops()
+        conflicted = {s.module for s in plan.conflicted_sessions()}
+        assert conflicted == {module for module, _ in self_loops}
+
+    def test_summary_fields(self):
+        design = run_ours(load("diffeq")).design
+        summary = plan_bist(design.datapath).summary()
+        assert summary["sessions"] > 0
+        assert summary["tpg"] > 0
+        assert summary["misr"] > 0
+
+    def test_overhead_grows_with_bits(self):
+        design = run_ours(load("ex")).design
+        plan = plan_bist(design.datapath)
+        assert (bilbo_overhead_mm2(plan, 16)
+                > bilbo_overhead_mm2(plan, 4) > 0.0)
+
+
+class TestUnitBist:
+    def test_adder_high_coverage(self):
+        # 92% is the ceiling here: the LFSR never emits the all-zero
+        # pattern, and the 4-bit MISR aliases a few faults.
+        result = evaluate_unit_bist(OpKind.ADD, 4, patterns=15)
+        assert result.total_faults > 40
+        assert result.coverage > 90.0
+
+    def test_signature_at_most_stream(self):
+        result = evaluate_unit_bist(OpKind.MUL, 4, patterns=15)
+        assert result.signature_detected <= result.stream_detected
+        assert result.aliased >= 0
+
+    def test_more_patterns_help(self):
+        # Stream detection is monotone in pattern count; signature
+        # detection is monotone-minus-aliasing (checked separately).
+        short = evaluate_unit_bist(OpKind.MUL, 4, patterns=3)
+        long = evaluate_unit_bist(OpKind.MUL, 4, patterns=15)
+        assert long.stream_detected >= short.stream_detected
+
+    def test_wide_misr_reduces_aliasing(self):
+        narrow = evaluate_unit_bist(OpKind.MUL, 4, patterns=15,
+                                    misr_width=4)
+        wide = evaluate_unit_bist(OpKind.MUL, 4, patterns=15,
+                                  misr_width=16)
+        assert wide.aliased <= narrow.aliased
+
+    def test_patterns_capped_at_lfsr_period(self):
+        # Beyond the period the stream repeats and differences cancel
+        # in the linear MISR; the session therefore caps the length.
+        capped = evaluate_unit_bist(OpKind.ADD, 4, patterns=60)
+        assert capped.cycles == 15
+        full = evaluate_unit_bist(OpKind.ADD, 4, patterns=15)
+        assert capped.signature_detected == full.signature_detected
+
+    def test_unit_netlist_structure(self):
+        net = unit_netlist(OpKind.ADD, 4)
+        assert len(net.inputs) == 8
+        assert len(net.outputs) == 4
+
+
+class TestDesignBist:
+    def test_full_design_plan(self):
+        design = run_ours(load("ex")).design
+        result = evaluate_design_bist(design, bits=4, patterns=15)
+        assert isinstance(result, PlanBistResult)
+        assert result.total_faults > 0
+        assert 50.0 < result.coverage <= 100.0
+        assert result.test_cycles == sum(s.cycles for s in result.sessions)
+        assert result.overhead_mm2 > 0.0
+
+    def test_merged_units_run_one_session_per_kind(self):
+        design = run_ours(load("ex")).design
+        result = evaluate_design_bist(design, bits=4, patterns=7)
+        kinds_per_module = sum(
+            len({design.dfg.operation(op).kind for op in m.ops})
+            for m in design.datapath.modules())
+        assert len(result.sessions) == kinds_per_module

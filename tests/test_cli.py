@@ -1,0 +1,69 @@
+"""Tests for the command-line interface (fast subcommands only)."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCli:
+    def test_synth_command(self, capsys):
+        assert main(["synth", "ex", "-k", "3", "-a", "2", "-b", "1",
+                     "--bits", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "Schedule of ex" in out
+        assert "mergers applied" in out
+
+    def test_fig2_command(self, capsys):
+        assert main(["fig2"]) == 0
+        out = capsys.readouterr().out
+        assert "Schedule of ex" in out
+        assert "share" in out
+
+    def test_fig3_command(self, capsys):
+        assert main(["fig3"]) == 0
+        out = capsys.readouterr().out
+        assert "Schedule of dct" in out
+        assert "Schedule of diffeq" in out
+        assert "loop while cond" in out
+
+    def test_unknown_benchmark_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["synth", "nothere"])
+
+    def test_missing_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_synth_history_printed(self, capsys):
+        main(["synth", "tseng", "--bits", "4"])
+        out = capsys.readouterr().out
+        assert "dE=" in out and "dH=" in out
+
+
+class TestCliExtensions:
+    def test_explore_command(self, capsys):
+        assert main(["explore", "tseng", "--bits", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "Pareto front" in out
+
+    def test_export_dot(self, capsys):
+        assert main(["export", "tseng", "--what", "dot"]) == 0
+        assert capsys.readouterr().out.startswith("digraph")
+
+    def test_export_json(self, capsys):
+        import json
+        assert main(["export", "tseng", "--what", "json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["format"] == "repro-design-v1"
+
+    def test_export_verilog(self, capsys):
+        assert main(["export", "tseng", "--what", "verilog",
+                     "--bits", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "module" in out and "endmodule" in out
+
+    def test_report_command(self, tmp_path, capsys):
+        rows = tmp_path / "rows.jsonl"
+        rows.write_text("")
+        assert main(["report", "--rows", str(rows)]) == 0
+        assert "no rows recorded" in capsys.readouterr().out

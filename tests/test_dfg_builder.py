@@ -1,0 +1,91 @@
+"""Unit tests for DFGBuilder and DFG validation."""
+
+import pytest
+
+from repro.dfg import DFGBuilder
+from repro.errors import DFGError
+
+
+class TestBuilder:
+    def test_duplicate_op_id(self):
+        b = DFGBuilder("dup")
+        b.inputs("a", "b")
+        b.op("N1", "+", "x", "a", "b")
+        with pytest.raises(DFGError):
+            b.op("N1", "-", "y", "a", "b")
+
+    def test_implicit_input_detection(self):
+        b = DFGBuilder("implicit")
+        b.op("N1", "+", "x", "a", "b")  # a, b never declared
+        dfg = b.build()
+        assert dfg.variable("a").is_input
+        assert dfg.variable("b").is_input
+        assert not dfg.variable("x").is_input
+
+    def test_implicit_output_detection(self):
+        b = DFGBuilder("implicit-out")
+        b.inputs("a", "b")
+        b.op("N1", "+", "x", "a", "b")  # x defined, never read
+        dfg = b.build()
+        assert dfg.variable("x").is_output
+
+    def test_condition_not_marked_output(self):
+        b = DFGBuilder("cond")
+        b.inputs("a", "b")
+        b.compare("N1", "<", "c", "a", "b")
+        dfg = b.build()
+        assert dfg.variable("c").is_condition
+        assert not dfg.variable("c").is_output
+
+    def test_compare_rejects_non_comparison(self):
+        b = DFGBuilder("badcmp")
+        b.inputs("a", "b")
+        with pytest.raises(DFGError):
+            b.compare("N1", "+", "c", "a", "b")
+
+    def test_empty_dfg_rejected(self):
+        with pytest.raises(DFGError):
+            DFGBuilder("empty").build()
+
+    def test_condition_as_data_rejected(self):
+        b = DFGBuilder("cond-data")
+        b.inputs("a", "b")
+        b.compare("N1", "<", "c", "a", "b")
+        b.op("N2", "+", "x", "c", "a")  # condition used as data
+        with pytest.raises(DFGError):
+            b.build()
+
+    def test_loop_condition_must_be_condition(self):
+        b = DFGBuilder("badloop")
+        b.inputs("a", "b")
+        b.op("N1", "+", "x", "a", "b")
+        b.loop("x")
+        with pytest.raises(DFGError):
+            b.build()
+
+    def test_loop_condition_must_exist(self):
+        b = DFGBuilder("noloop")
+        b.inputs("a", "b")
+        b.op("N1", "+", "x", "a", "b")
+        b.loop("nothere")
+        with pytest.raises(DFGError):
+            b.build()
+
+    def test_kind_accepts_enum_and_symbol(self):
+        from repro.dfg import OpKind
+        b = DFGBuilder("kinds")
+        b.inputs("a", "b")
+        b.op("N1", OpKind.ADD, "x", "a", "b")
+        b.op("N2", "*", "y", "x", "b")
+        dfg = b.build()
+        assert dfg.operation("N1").kind == OpKind.ADD
+        assert dfg.operation("N2").kind == OpKind.MUL
+
+    def test_program_order_preserved(self):
+        b = DFGBuilder("order")
+        b.inputs("a", "b")
+        b.op("N9", "+", "x", "a", "b")
+        b.op("N1", "-", "y", "x", "b")
+        dfg = b.build()
+        assert dfg.op_order == ["N9", "N1"]
+        assert dfg.operation("N9").order == 0

@@ -1,0 +1,40 @@
+"""Smoke tests for the runnable examples (the fast ones).
+
+The slower examples (compare_flows, custom_behavior, dft_explorer) run
+full ATPG and are exercised by the benchmark suite's equivalent paths;
+here we keep the quick ones from rotting.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).parent.parent / "examples"
+
+
+def run_example(name: str, *args: str) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True, text=True, timeout=240)
+    assert result.returncode == 0, result.stderr
+    return result.stdout
+
+
+class TestExamples:
+    def test_quickstart(self):
+        out = run_example("quickstart.py")
+        assert "RTL check 4" in out
+        assert "MISMATCH" not in out
+
+    def test_testability_explorer_small(self):
+        out = run_example("testability_explorer.py", "tseng")
+        assert "quality" in out
+        assert out.count("\n") > 9   # the grid printed
+
+    def test_examples_all_importable(self):
+        """Every example at least parses and imports its dependencies."""
+        import ast
+        for path in sorted(EXAMPLES.glob("*.py")):
+            ast.parse(path.read_text())

@@ -1,0 +1,70 @@
+"""Tests for harness rendering helpers that need no ATPG run."""
+
+import pytest
+
+from repro.bench import load
+from repro.harness import (ExperimentConfig, render_lifetimes,
+                           render_schedule, render_sharing, synthesize_flow)
+from repro.harness.experiment import PAPER_PARAMS, module_symbol
+from repro.synth import run_camad
+
+
+class TestExperimentConfig:
+    def test_quick_profiles(self):
+        q4 = ExperimentConfig.quick(4)
+        q16 = ExperimentConfig.quick(16)
+        assert q4.fault_fraction == 1.0
+        assert q16.fault_fraction < q4.fault_fraction
+        assert q16.random.max_sequences <= q4.random.max_sequences
+
+    def test_paper_params_cover_published_widths(self):
+        assert set(PAPER_PARAMS) == {4, 8, 16}
+
+
+class TestSynthesizeFlow:
+    @pytest.mark.parametrize("flow", ["camad", "approach1", "approach2",
+                                      "ours"])
+    def test_all_flows_valid(self, flow):
+        design = synthesize_flow("tseng", flow, 8)
+        design.validate()
+        assert design.label == flow
+
+    def test_unknown_flow(self):
+        with pytest.raises(KeyError):
+            synthesize_flow("ex", "bogus", 8)
+
+
+class TestRenderers:
+    def test_module_symbol(self):
+        design = run_camad(load("ex")).design
+        symbols = {module_symbol(design, m)
+                   for m in design.binding.modules()}
+        assert "*" in symbols           # multiplier group present
+
+    def test_lifetimes_chart_shape(self):
+        design = run_camad(load("tseng")).design
+        chart = render_lifetimes(design)
+        lines = chart.splitlines()
+        # Header + one row per register-needing variable.
+        needed = sum(v.needs_register()
+                     for v in design.dfg.variables.values())
+        assert len(lines) == 2 + needed
+        assert "#" in chart
+
+    def test_schedule_idle_steps_marked(self):
+        from repro.etpn import Design
+        from repro.alloc import default_binding
+        from repro.bench import load
+        dfg = load("tseng")
+        # Artificial schedule with a hole at step 1.
+        from repro.dfg.analysis import asap_steps
+        steps = {o: s * 2 for o, s in asap_steps(dfg).items()}
+        design = Design(dfg, steps, default_binding(dfg))
+        text = render_schedule(design)
+        assert "(idle)" in text
+
+    def test_sharing_render_empty_when_no_sharing(self):
+        from repro.etpn import default_design
+        design = default_design(load("tseng"))
+        text = render_sharing(design)
+        assert "share" not in text.replace("Sharing", "")

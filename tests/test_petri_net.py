@@ -1,0 +1,95 @@
+"""Unit tests for the Petri net structure and firing rules."""
+
+import pytest
+
+from repro.errors import PetriNetError
+from repro.petri import Guard, PetriNet
+
+
+def simple_net():
+    net = PetriNet("simple")
+    net.add_place("P0", delay=1)
+    net.add_place("P1", delay=1)
+    net.add_place("P2", delay=0)
+    net.add_transition("t0", ["P0"], ["P1"])
+    net.add_transition("t1", ["P1"], ["P2"])
+    net.set_initial("P0")
+    net.set_final("P2")
+    return net
+
+
+class TestStructure:
+    def test_duplicate_place(self):
+        net = PetriNet("n")
+        net.add_place("P0")
+        with pytest.raises(PetriNetError):
+            net.add_place("P0")
+
+    def test_negative_delay(self):
+        net = PetriNet("n")
+        with pytest.raises(PetriNetError):
+            net.add_place("P0", delay=-1)
+
+    def test_transition_unknown_place(self):
+        net = PetriNet("n")
+        net.add_place("P0")
+        with pytest.raises(PetriNetError):
+            net.add_transition("t0", ["P0"], ["P9"])
+
+    def test_transition_needs_inputs(self):
+        net = PetriNet("n")
+        net.add_place("P0")
+        with pytest.raises(PetriNetError):
+            net.add_transition("t0", [], ["P0"])
+
+    def test_initial_unknown_place(self):
+        net = PetriNet("n")
+        net.add_place("P0")
+        with pytest.raises(PetriNetError):
+            net.set_initial("P9")
+
+    def test_validate_requires_initial(self):
+        net = PetriNet("n")
+        net.add_place("P0")
+        with pytest.raises(PetriNetError):
+            net.validate()
+
+
+class TestFiring:
+    def test_enabled(self):
+        net = simple_net()
+        enabled = net.enabled(net.initial_marking)
+        assert [t.trans_id for t in enabled] == ["t0"]
+
+    def test_fire_moves_token(self):
+        net = simple_net()
+        after = net.fire(net.initial_marking, net.transitions["t0"])
+        assert after == frozenset({"P1"})
+
+    def test_fire_not_enabled(self):
+        net = simple_net()
+        with pytest.raises(PetriNetError):
+            net.fire(frozenset({"P1"}), net.transitions["t0"])
+
+    def test_fire_safeness_violation(self):
+        net = PetriNet("unsafe")
+        net.add_place("P0")
+        net.add_place("P1")
+        net.add_transition("t0", ["P0"], ["P1"])
+        with pytest.raises(PetriNetError):
+            net.fire(frozenset({"P0", "P1"}), net.transitions["t0"])
+
+    def test_final_detection(self):
+        net = simple_net()
+        assert net.is_final(frozenset({"P2"}))
+        assert not net.is_final(frozenset({"P0"}))
+
+    def test_guard_complement(self):
+        g = Guard("c")
+        assert g.complement() == Guard("c", negated=True)
+        assert g.complement().complement() == g
+
+    def test_conditions_collected(self):
+        net = simple_net()
+        net.add_transition("t2", ["P2"], ["P0"], guard=Guard("loop"))
+        assert net.conditions() == {"loop"}

@@ -1,0 +1,93 @@
+"""Unit tests for reachability trees and critical-path extraction."""
+
+import pytest
+
+from repro.dfg import DFGBuilder
+from repro.errors import PetriNetError
+from repro.petri import (FINAL_PLACE, Guard, PetriNet, ReachabilityTree,
+                         control_net_for_design, control_net_from_schedule,
+                         critical_path, execution_time)
+
+
+class TestReachability:
+    def test_linear_chain(self):
+        net = control_net_from_schedule("lin", 4)
+        tree = ReachabilityTree(net)
+        assert frozenset({FINAL_PLACE}) in tree.reachable_markings()
+        assert len(tree.reachable_markings()) == 5
+
+    def test_loop_terminates_via_duplicates(self):
+        net = control_net_from_schedule("loop", 3, loop_condition="c")
+        tree = ReachabilityTree(net)
+        duplicates = [n for n in tree.nodes if n.duplicate]
+        assert duplicates, "the back edge must create a duplicate node"
+
+    def test_fork_join(self):
+        net = PetriNet("forkjoin")
+        for pid in ("P0", "A", "B", "P3"):
+            net.add_place(pid, delay=1)
+        net.add_place(FINAL_PLACE, delay=0)
+        net.add_transition("fork", ["P0"], ["A", "B"])
+        net.add_transition("join", ["A", "B"], ["P3"])
+        net.add_transition("end", ["P3"], [FINAL_PLACE])
+        net.set_initial("P0")
+        net.set_final(FINAL_PLACE)
+        tree = ReachabilityTree(net)
+        assert frozenset({"A", "B"}) in tree.reachable_markings()
+        assert frozenset({FINAL_PLACE}) in tree.reachable_markings()
+
+    def test_node_budget(self):
+        net = control_net_from_schedule("big", 50)
+        with pytest.raises(PetriNetError):
+            ReachabilityTree(net, max_nodes=10)
+
+
+class TestCriticalPath:
+    def test_linear_length(self):
+        net = control_net_from_schedule("lin", 4)
+        assert execution_time(net) == 4
+
+    def test_single_step(self):
+        net = control_net_from_schedule("one", 1)
+        assert execution_time(net) == 1
+
+    def test_loop_counts_one_iteration(self):
+        straight = execution_time(control_net_from_schedule("s", 5))
+        looped = execution_time(
+            control_net_from_schedule("l", 5, loop_condition="c"))
+        # E is the per-iteration path to the final place: identical to the
+        # straight-line chain of the same length.
+        assert looped == straight
+
+    def test_delta_e_consistency(self):
+        # Lengthening a looped schedule by one step raises E by one.
+        e3 = execution_time(control_net_from_schedule("a", 3, "c"))
+        e4 = execution_time(control_net_from_schedule("b", 4, "c"))
+        assert e4 - e3 == 1
+
+    def test_places_sequence(self):
+        net = control_net_from_schedule("lin", 3)
+        cp = critical_path(net)
+        assert cp.places == ("S0", "S1", "S2")
+        assert cp.length == 3
+
+    def test_zero_steps_rejected(self):
+        with pytest.raises(PetriNetError):
+            control_net_from_schedule("bad", 0)
+
+    def test_control_net_for_design(self):
+        b = DFGBuilder("d")
+        b.inputs("a", "b")
+        b.op("N1", "+", "x", "a", "b")
+        b.op("N2", "*", "y", "x", "b")
+        dfg = b.build()
+        net = control_net_for_design(dfg, {"N1": 0, "N2": 1})
+        assert execution_time(net) == 2
+        assert net.places["S0"].label == "N1"
+        assert net.places["S1"].label == "N2"
+
+    def test_control_net_for_loop_design(self, loop_dfg):
+        net = control_net_for_design(loop_dfg, {"N1": 0, "N2": 1})
+        assert "t_loop" in net.transitions
+        assert net.transitions["t_loop"].guard == Guard("c")
+        assert net.transitions["t_exit"].guard == Guard("c", negated=True)

@@ -1,0 +1,163 @@
+"""Unit and integration tests for RTL generation and simulation.
+
+The headline integration test: for every benchmark and every flow, the
+generated RTL driven by its own control table computes exactly what the
+reference DFG interpreter computes.
+"""
+
+import random
+
+import pytest
+
+from repro.bench import load
+from repro.dfg import OpKind
+from repro.etpn import default_design
+from repro.rtl import (apply_op, build_control_table, evaluate_dfg,
+                       generate_rtl, mask, simulate_rtl)
+from repro.synth import run_camad, run_ours
+
+
+class TestSemantics:
+    def test_add_wraps(self):
+        assert apply_op(OpKind.ADD, 255, 1, 8) == 0
+
+    def test_sub_wraps(self):
+        assert apply_op(OpKind.SUB, 0, 1, 8) == 255
+
+    def test_mul_truncates(self):
+        assert apply_op(OpKind.MUL, 16, 16, 8) == 0
+        assert apply_op(OpKind.MUL, 5, 7, 8) == 35
+
+    def test_div(self):
+        assert apply_op(OpKind.DIV, 37, 5, 8) == 7
+
+    def test_div_by_zero_all_ones(self):
+        assert apply_op(OpKind.DIV, 3, 0, 8) == 255
+
+    def test_comparisons(self):
+        assert apply_op(OpKind.LT, 3, 5, 8) == 1
+        assert apply_op(OpKind.LT, 5, 3, 8) == 0
+        assert apply_op(OpKind.EQ, 7, 7, 8) == 1
+        assert apply_op(OpKind.GE, 7, 7, 8) == 1
+
+    def test_logic(self):
+        assert apply_op(OpKind.AND, 0b1100, 0b1010, 4) == 0b1000
+        assert apply_op(OpKind.XOR, 0b1100, 0b1010, 4) == 0b0110
+        assert apply_op(OpKind.NOT, 0b1100, 0, 4) == 0b0011
+
+    def test_shifts_mod_width(self):
+        assert apply_op(OpKind.SHL, 1, 3, 8) == 8
+        assert apply_op(OpKind.SHL, 1, 8, 8) == 1  # shift mod 8
+
+    def test_mask(self):
+        assert mask(4) == 15
+
+
+class TestInterpreter:
+    def test_chain(self, chain_dfg):
+        values = evaluate_dfg(chain_dfg, {"a": 3, "b": 4, "c": 5, "d": 1},
+                              bits=8)
+        assert values["x"] == 12
+        assert values["y"] == 17
+        assert values["z"] == 16
+
+    def test_multidef(self, multidef_dfg):
+        values = evaluate_dfg(multidef_dfg, {"u": 10, "e": 3, "f": 2},
+                              bits=8)
+        assert values["u1"] == 5
+
+    def test_loop_condition(self, loop_dfg):
+        values = evaluate_dfg(loop_dfg, {"x": 1, "dx": 2, "a": 10}, bits=8)
+        assert values["x1"] == 3
+        assert values["c"] == 1
+
+
+class TestRtlGeneration:
+    def test_default_design_structure(self, chain_dfg):
+        design = default_design(chain_dfg)
+        rtl = generate_rtl(design, bits=8)
+        assert len(rtl.registers) == 7
+        assert len(rtl.units) == 3
+        assert rtl.in_ports == ["in_a", "in_b", "in_c", "in_d"]
+        assert rtl.out_ports == {"out_z": "R_z"}
+
+    def test_merged_unit_kinds(self, chain_dfg):
+        design = default_design(chain_dfg)
+        design = design.replaced(
+            binding=design.binding.merge_modules("M_N2", "M_N3"))
+        rtl = generate_rtl(design, bits=8)
+        unit = rtl.units["M_N2"]
+        assert [k.name for k in unit.kinds] == ["ADD", "SUB"]
+        assert unit.needs_op_select()
+
+    def test_control_signals_sorted_unique(self, chain_dfg):
+        rtl = generate_rtl(default_design(chain_dfg), bits=8)
+        signals = rtl.control_signals()
+        assert signals == sorted(signals)
+        assert len(signals) == len(set(signals))
+
+    def test_condition_port(self, loop_dfg):
+        rtl = generate_rtl(default_design(loop_dfg), bits=8)
+        assert rtl.cond_ports == {"cond_c": "M_N2"}
+
+
+class TestControlTable:
+    def test_phase_count(self, chain_dfg):
+        design = default_design(chain_dfg)
+        rtl = generate_rtl(design, bits=8)
+        table = build_control_table(design, rtl)
+        assert table.phase_count == design.num_steps + 1
+
+    def test_preload_phase_loads_first_inputs(self, chain_dfg):
+        design = default_design(chain_dfg)
+        rtl = generate_rtl(design, bits=8)
+        table = build_control_table(design, rtl)
+        assert table.signal(0, "R_a_load") == 1
+        assert table.signal(0, "R_b_load") == 1
+        # c is first used in step 1, so it loads during phase 1.
+        assert table.signal(0, "R_c_load") == 0
+        assert table.signal(1, "R_c_load") == 1
+
+    def test_writeback_phase(self, chain_dfg):
+        design = default_design(chain_dfg)
+        rtl = generate_rtl(design, bits=8)
+        table = build_control_table(design, rtl)
+        # N1 executes in step 0 (phase 1) and writes R_x there.
+        assert table.signal(1, "R_x_load") == 1
+
+
+class TestRtlMatchesInterpreter:
+    def _check(self, design, bits=8, seed=1, rounds=10):
+        rtl = generate_rtl(design, bits)
+        table = build_control_table(design, rtl)
+        rng = random.Random(seed)
+        for _ in range(rounds):
+            inputs = {v.name: rng.randrange(1 << bits)
+                      for v in design.dfg.inputs()}
+            expected = evaluate_dfg(design.dfg, inputs, bits)
+            result = simulate_rtl(design, rtl, table, inputs)
+            for out_port in rtl.out_ports:
+                var = out_port.removeprefix("out_")
+                assert result.outputs[out_port] == expected[var], \
+                    f"{design.dfg.name}/{design.label}: {var}"
+            for cond_port in rtl.cond_ports:
+                var = cond_port.removeprefix("cond_")
+                assert result.conditions[cond_port] == expected[var]
+
+    @pytest.mark.parametrize("name", ["ex", "dct", "diffeq", "paulin",
+                                      "tseng"])
+    def test_default_design(self, name):
+        self._check(default_design(load(name)))
+
+    @pytest.mark.parametrize("name", ["ex", "dct", "diffeq"])
+    def test_ours_design(self, name):
+        self._check(run_ours(load(name)).design)
+
+    @pytest.mark.parametrize("name", ["ex", "dct", "diffeq"])
+    def test_camad_design(self, name):
+        self._check(run_camad(load(name)).design)
+
+    def test_4bit_and_16bit(self):
+        design = run_ours(load("ex")).design
+        self._check(design, bits=4)
+        self._check(design, bits=16, rounds=4)

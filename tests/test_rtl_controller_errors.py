@@ -1,0 +1,70 @@
+"""Controller/RTL edge cases and the ATPG result container."""
+
+import pytest
+
+from repro.atpg.results import ATPGResult
+from repro.bench import load
+from repro.etpn import default_design
+from repro.rtl import build_control_table, generate_rtl
+from repro.rtl.components import Ref, const_ref, port_ref, reg_ref, unit_ref
+
+
+class TestRefs:
+    def test_ref_constructors(self):
+        assert reg_ref("R1") == Ref("reg", "R1")
+        assert unit_ref("M1") == Ref("unit", "M1")
+        assert port_ref("in_a") == Ref("port", "in_a")
+        assert const_ref(3) == Ref("const", "3")
+
+    def test_refs_hashable_and_sortable(self):
+        refs = {reg_ref("R1"), reg_ref("R1"), const_ref(1)}
+        assert len(refs) == 2
+        assert sorted(refs, key=str)
+
+
+class TestControlTableShape:
+    def test_single_op_per_unit_per_phase(self):
+        """No phase asserts two different op-selects on one unit."""
+        from repro.synth import run_ours
+        design = run_ours(load("diffeq")).design
+        rtl = generate_rtl(design, 4)
+        table = build_control_table(design, rtl)
+        for phase in table.phases:
+            for unit_id, unit in rtl.units.items():
+                if not unit.needs_op_select():
+                    continue
+                asserted = [k for k in unit.kinds
+                            if phase.get(unit.op_signal(k))]
+                assert len(asserted) <= 1
+
+    def test_one_hot_register_selects(self):
+        from repro.synth import run_ours
+        design = run_ours(load("ex")).design
+        rtl = generate_rtl(design, 4)
+        table = build_control_table(design, rtl)
+        for phase in table.phases:
+            for reg_id, spec in rtl.registers.items():
+                if not spec.needs_mux():
+                    continue
+                hot = [i for i in range(len(spec.sources))
+                       if phase.get(spec.select_signal(i))]
+                if phase.get(spec.load_signal()):
+                    assert len(hot) == 1
+                else:
+                    assert len(hot) == 0
+
+
+class TestATPGResult:
+    def test_coverage_zero_when_empty(self):
+        assert ATPGResult().fault_coverage == 0.0
+
+    def test_properties(self):
+        result = ATPGResult(total_faults=200, detected_random=150,
+                            detected_deterministic=30,
+                            random_cycles=100, deterministic_cycles=20,
+                            random_effort=5, deterministic_effort=7)
+        assert result.detected == 180
+        assert result.fault_coverage == pytest.approx(90.0)
+        assert result.test_cycles == 120
+        assert result.tg_effort == 12
+        assert result.summary()["coverage_pct"] == 90.0

@@ -1,0 +1,69 @@
+"""Unit tests for the design-space explorer."""
+
+import pytest
+
+from repro.bench import load
+from repro.cost import CostModel
+from repro.synth.explore import (DesignPoint, explore, pareto_front,
+                                 render_front)
+
+
+@pytest.fixture(scope="module")
+def points():
+    return explore(load("diffeq"), CostModel(bits=8))
+
+
+class TestExplore:
+    def test_points_are_distinct_designs(self, points):
+        signatures = {tuple(sorted(p.design.steps.items()))
+                      for p in points}
+        assert len(signatures) == len(points)
+
+    def test_every_point_valid(self, points):
+        for point in points:
+            point.design.validate()
+            assert point.execution_time >= 1
+            assert point.hardware_mm2 > 0
+            assert 0.0 <= point.quality <= 1.0
+
+    def test_front_is_subset_and_nondominated(self, points):
+        front = pareto_front(points)
+        assert set(id(p) for p in front) <= set(id(p) for p in points)
+        for a in front:
+            for b in front:
+                assert not a.dominates(b) or a is b
+
+    def test_dominated_points_removed(self, points):
+        front = pareto_front(points)
+        for point in points:
+            if point not in front:
+                assert any(q.dominates(point) for q in front)
+
+    def test_render(self, points):
+        text = render_front(pareto_front(points))
+        assert "quality" in text
+        assert "(" in text
+
+
+class TestDominance:
+    def _point(self, e, h, q):
+        class _Fake:
+            binding = None
+        return DesignPoint((3, 2.0, 1.0), e, h, q, design=None)
+
+    def test_strict_dominance(self):
+        better = self._point(3, 1.0, 0.6)
+        worse = self._point(4, 1.2, 0.5)
+        assert better.dominates(worse)
+        assert not worse.dominates(better)
+
+    def test_tradeoff_is_incomparable(self):
+        fast = self._point(3, 2.0, 0.5)
+        small = self._point(5, 1.0, 0.5)
+        assert not fast.dominates(small)
+        assert not small.dominates(fast)
+
+    def test_equal_points_do_not_dominate(self):
+        a = self._point(3, 1.0, 0.5)
+        b = self._point(3, 1.0, 0.5)
+        assert not a.dominates(b)

@@ -1,0 +1,98 @@
+"""Unit tests for merger transformations with rescheduling."""
+
+import pytest
+
+from repro.cost import CostModel
+from repro.dfg import DFGBuilder
+from repro.etpn import default_design
+from repro.synth import try_merge, try_merge_modules, try_merge_registers
+
+
+@pytest.fixture
+def model():
+    return CostModel(bits=8)
+
+
+class TestModuleMerger:
+    def test_merges_and_reschedules(self, diamond_dfg, model):
+        design = default_design(diamond_dfg)
+        outcome = try_merge_modules(design, "M_N1", "M_N2", model)
+        assert outcome is not None
+        assert outcome.kind == "module"
+        assert outcome.design.binding.module_of["N2"] == "M_N1"
+        assert (outcome.design.steps["N1"]
+                != outcome.design.steps["N2"])
+        outcome.design.validate()
+
+    def test_delta_e_reflects_dummy_step(self, diamond_dfg, model):
+        design = default_design(diamond_dfg)
+        outcome = try_merge_modules(design, "M_N1", "M_N2", model)
+        # Serialising the two mults lengthens the 2-step schedule by 1.
+        assert outcome.delta_e == 1.0
+
+    def test_incompatible_classes_rejected(self, chain_dfg, model):
+        design = default_design(chain_dfg)
+        # N1 is a mult, N2 an add.
+        assert try_merge_modules(design, "M_N1", "M_N2", model) is None
+
+    def test_compatible_alu_merge(self, chain_dfg, model):
+        design = default_design(chain_dfg)
+        outcome = try_merge_modules(design, "M_N2", "M_N3", model)
+        assert outcome is not None
+        # Already in different steps: no execution-time penalty.
+        assert outcome.delta_e == 0.0
+        # One ALU saved: hardware shrinks even after the muxes appear.
+        assert outcome.design.binding.module_count() == 2
+
+    def test_order_recorded(self, diamond_dfg, model):
+        design = default_design(diamond_dfg)
+        outcome = try_merge_modules(design, "M_N1", "M_N2", model)
+        assert sorted(outcome.order) == ["N1", "N2"]
+
+
+class TestRegisterMerger:
+    def test_feasible_merge(self, chain_dfg, model):
+        design = default_design(chain_dfg)
+        outcome = try_merge_registers(design, "R_a", "R_y", model)
+        assert outcome is not None
+        assert outcome.kind == "register"
+        outcome.design.validate()
+        assert outcome.design.binding.register_count() == 6
+
+    def test_infeasible_same_consumer(self, diamond_dfg, model):
+        design = default_design(diamond_dfg)
+        # N3 reads both x and y.
+        assert try_merge_registers(design, "R_x", "R_y", model) is None
+
+    def test_register_merge_saves_hardware(self, chain_dfg, model):
+        design = default_design(chain_dfg)
+        outcome = try_merge_registers(design, "R_a", "R_y", model)
+        assert outcome.delta_h < 0.0
+
+    def test_dispatch(self, chain_dfg, model):
+        design = default_design(chain_dfg)
+        assert try_merge(design, "register", "R_a", "R_y", model) is not None
+        with pytest.raises(ValueError):
+            try_merge(design, "port", "PI_a", "PI_b", model)
+
+
+class TestStrategyChoice:
+    def test_prefers_shorter_depth_order(self, model):
+        """When both orders are feasible the C/O strategy picks the one
+        with the smaller time-domain sequential depth."""
+        b = DFGBuilder("strat")
+        b.inputs("a", "b", "c", "d", "e")
+        b.op("N1", "+", "x", "a", "b")
+        b.op("N2", "+", "y", "c", "d")
+        b.op("N3", "*", "u", "x", "c")
+        b.op("N4", "*", "w", "y", "e")
+        dfg = b.build()
+        design = default_design(dfg)
+        outcome = try_merge_modules(design, "M_N1", "M_N2", model)
+        assert outcome is not None
+        # Both interleavings are feasible; the pick must be deterministic
+        # and must satisfy the lifetime/step constraints.
+        outcome.design.validate()
+        repeat = try_merge_modules(design, "M_N1", "M_N2", model)
+        assert repeat.order == outcome.order
+        assert repeat.design.steps == outcome.design.steps

@@ -1,0 +1,92 @@
+"""Unit tests for CC/SC/CO/SO propagation."""
+
+import pytest
+
+from repro.alloc import default_binding
+from repro.etpn import DataPath, default_design
+from repro.testability import analyze, UNREACHABLE_DEPTH
+
+
+class TestForwardPropagation:
+    def test_primary_input_fully_controllable(self, chain_dfg):
+        analysis = analyze(default_design(chain_dfg).datapath)
+        node = analysis.node("PI_a")
+        assert node.cc == 1.0 and node.sc == 0.0
+
+    def test_register_adds_sequential_cost(self, chain_dfg):
+        analysis = analyze(default_design(chain_dfg).datapath)
+        # R_a is loaded straight from PI_a: CC=1, SC=1 at its output,
+        # so the node-level (best input line) values are CC=1, SC=0.
+        reg = analysis.node("R_a")
+        assert reg.cc == 1.0 and reg.sc == 0.0
+        # The module reading R_a sees the registered value.
+        line = next(a for a in analysis.datapath.arcs
+                    if a.src == "R_a" and a.dst == "M_N1")
+        lt = analysis.line(line)
+        assert lt.cc == 1.0 and lt.sc == 1.0
+
+    def test_controllability_decays_along_chain(self, chain_dfg):
+        analysis = analyze(default_design(chain_dfg).datapath)
+        # Registers deeper in the chain are fed by longer justification
+        # paths: worse combinational and sequential controllability.
+        assert (analysis.node("R_x").c_score
+                > analysis.node("R_z").c_score)
+
+    def test_sequential_depth_grows_along_chain(self, chain_dfg):
+        analysis = analyze(default_design(chain_dfg).datapath)
+        r_x = analysis.node("R_x")
+        r_z = analysis.node("R_z")
+        assert r_z.sc > r_x.sc
+
+
+class TestBackwardPropagation:
+    def test_primary_output_fully_observable(self, chain_dfg):
+        analysis = analyze(default_design(chain_dfg).datapath)
+        node = analysis.node("PO_z")
+        assert node.co == 1.0 and node.so == 0.0
+
+    def test_observability_decays_towards_inputs(self, chain_dfg):
+        analysis = analyze(default_design(chain_dfg).datapath)
+        near_output = analysis.node("R_z")
+        near_input = analysis.node("R_a")
+        assert near_output.o_score > near_input.o_score
+
+    def test_condition_counts_as_observable(self, loop_dfg):
+        analysis = analyze(default_design(loop_dfg).datapath)
+        # The comparison module drives a condition: observable output.
+        module = analysis.node("M_N2")
+        assert module.co > 0.0
+        assert module.so == 0.0
+
+    def test_unconnected_has_zero_observability(self, chain_dfg):
+        analysis = analyze(default_design(chain_dfg).datapath)
+        # PI observability flows back fine; sanity: every module has
+        # *some* observability in this connected graph.
+        for module in analysis.datapath.modules():
+            assert analysis.node(module.node_id).co > 0.0
+
+
+class TestLoopsAndFixpoint:
+    def test_self_loop_converges(self, multidef_dfg):
+        binding = default_binding(multidef_dfg).merge_modules("M_N1", "M_N2")
+        dp = DataPath(multidef_dfg, binding)
+        analysis = analyze(dp)  # must terminate
+        node = analysis.node("M_N1")
+        assert 0.0 < node.cc <= 1.0
+        assert 0.0 < node.co <= 1.0
+
+    def test_balance_example_shape(self, chain_dfg):
+        """Nodes near PIs are C-dominant, nodes near POs are O-dominant."""
+        analysis = analyze(default_design(chain_dfg).datapath)
+        assert analysis.node("R_a").imbalance > 0
+        assert analysis.node("R_z").imbalance < 0
+
+
+class TestQuality:
+    def test_design_quality_in_unit_range(self, chain_dfg):
+        analysis = analyze(default_design(chain_dfg).datapath)
+        assert 0.0 <= analysis.design_quality() <= 1.0
+
+    def test_all_nodes_covers_everything(self, chain_dfg):
+        analysis = analyze(default_design(chain_dfg).datapath)
+        assert set(analysis.all_nodes()) == set(analysis.datapath.nodes)
