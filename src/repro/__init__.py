@@ -22,6 +22,7 @@ from .bench import names as benchmark_names
 from .cost import CostModel, ModuleLibrary
 from .dfg import DFG, DFGBuilder, OpKind
 from .etpn import Design, default_design
+from .lint import Diagnostic, LintReport, Severity, lint_design, lint_pipeline
 from .synth import (SynthesisParams, SynthesisResult, run_approach1,
                     run_approach2, run_camad, run_flow, run_ours, synthesize)
 from .testability import TestabilityAnalysis, analyze
@@ -33,14 +34,19 @@ __all__ = [
     "DFGBuilder",
     "CostModel",
     "Design",
+    "Diagnostic",
+    "LintReport",
     "ModuleLibrary",
     "OpKind",
+    "Severity",
     "SynthesisParams",
     "SynthesisResult",
     "TestabilityAnalysis",
     "analyze",
     "benchmark_names",
     "default_design",
+    "lint_design",
+    "lint_pipeline",
     "load_benchmark",
     "run_approach1",
     "run_approach2",

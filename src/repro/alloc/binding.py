@@ -11,7 +11,6 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from ..dfg import DFG, unit_class, UnitClass
-from ..dfg.lifetime import variable_lifetimes
 from ..errors import BindingError
 
 
@@ -122,39 +121,18 @@ def module_unit_class(dfg: DFG, binding: Binding, module: str) -> UnitClass:
 def validate_binding(dfg: DFG, steps: dict[str, int], binding: Binding) -> None:
     """Check that a binding is legal for the given schedule.
 
-    Rules (paper §4.1): operations sharing a module occupy distinct
-    control steps and agree on unit class; variables sharing a register
-    have pairwise-disjoint lifetimes; every operation and every
-    register-needing variable is bound.
+    Rules (paper §4.1, lint codes ``BND001``-``BND005``): operations
+    sharing a module occupy distinct control steps and agree on unit
+    class; variables sharing a register have pairwise-disjoint
+    lifetimes; every operation and every register-needing variable is
+    bound.  The rule implementations live in
+    :mod:`repro.lint.rules_binding`; this raise-style wrapper collects
+    every violation into one exception.
 
     Raises:
-        BindingError: on the first violation found.
+        BindingError: listing every violated rule (not just the first).
     """
-    missing_ops = set(dfg.operations) - set(binding.module_of)
-    if missing_ops:
-        raise BindingError(f"unbound operations: {sorted(missing_ops)}")
-    needed = {n for n, v in dfg.variables.items() if v.needs_register()}
-    missing_vars = needed - set(binding.register_of)
-    if missing_vars:
-        raise BindingError(f"unbound variables: {sorted(missing_vars)}")
-
-    for module, ops in binding.modules().items():
-        module_unit_class(dfg, binding, module)
-        seen: dict[int, str] = {}
-        for op_id in ops:
-            step = steps[op_id]
-            if step in seen:
-                raise BindingError(
-                    f"module {module!r}: {seen[step]} and {op_id} both "
-                    f"scheduled in step {step}")
-            seen[step] = op_id
-
-    lifetimes = variable_lifetimes(dfg, steps)
-    for register, variables in binding.registers().items():
-        present = [lifetimes[v] for v in variables if v in lifetimes]
-        for i, a in enumerate(present):
-            for b in present[i + 1:]:
-                if a.overlaps(b):
-                    raise BindingError(
-                        f"register {register!r}: lifetimes of "
-                        f"{a.variable} {a} and {b.variable} {b} overlap")
+    from ..lint import lint_binding
+    errors = lint_binding(dfg, steps, binding).errors()
+    if errors:
+        raise BindingError("; ".join(d.message for d in errors))

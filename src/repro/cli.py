@@ -7,6 +7,8 @@ Examples::
     repro-hlts fig2                   # Figure 2 (Ex schedule)
     repro-hlts synth diffeq -k 3 -a 2 -b 1
     repro-hlts bench ex --flow ours --bits 8
+    repro-hlts lint                   # design-rule check every benchmark
+    repro-hlts lint diffeq my.hdl --strict --format json
 """
 
 from __future__ import annotations
@@ -47,6 +49,76 @@ def _figure_command(args, benchmarks: list[str]) -> int:
         print(render_sharing(design))
         print()
     return 0
+
+
+def _lint_resolve(target: str):
+    """Resolve a lint target to a DFG: benchmark name or HDL file path."""
+    if target in names():
+        return load(target)
+    import os
+    if os.path.isfile(target):
+        from .hdl import compile_source
+        with open(target) as handle:
+            return compile_source(handle.read())
+    raise KeyError(target)
+
+
+def _lint_command(args) -> int:
+    """The ``lint`` subcommand: collect-all design-rule checking."""
+    from .errors import ReproError
+    from .lint import (PIPELINE_FAILURE_CODE, Diagnostic, LintReport,
+                       Severity, all_rules, lint_pipeline)
+
+    if args.list_rules:
+        print(f"{'code':<8} {'layer':<12} {'severity':<8} title")
+        for rule_ in all_rules():
+            print(f"{rule_.code:<8} {rule_.layer:<12} "
+                  f"{rule_.severity.value:<8} {rule_.title}")
+        return 0
+
+    targets = args.targets or list(names())
+    results = []
+    all_ok = True
+    for target in targets:
+        try:
+            dfg = _lint_resolve(target)
+        except KeyError:
+            print(f"error: {target!r} is neither a registered benchmark "
+                  f"({', '.join(names())}) nor an HDL file", file=sys.stderr)
+            return 2
+        except ReproError as exc:
+            # A source file that does not even compile is itself a
+            # finding, not a crash: report it and keep linting the rest.
+            report = LintReport()
+            report.add(Diagnostic(
+                code=PIPELINE_FAILURE_CODE, severity=Severity.ERROR,
+                layer="pipeline", location=target,
+                message=f"{target}: cannot compile: {exc}",
+                hint="fix the HDL syntax/semantic errors first"))
+            all_ok = False
+            results.append((target, report, False))
+            continue
+        report = lint_pipeline(dfg, bits=args.bits, gates=not args.no_gates,
+                               depth_limit=args.depth_limit)
+        ok = report.ok(strict=args.strict)
+        all_ok = all_ok and ok
+        results.append((target, report, ok))
+
+    if args.fmt == "json":
+        import json
+        print(json.dumps({
+            "targets": [{"name": t, "ok": ok, **report.to_dict()}
+                        for t, report, ok in results],
+            "strict": args.strict,
+            "ok": all_ok,
+        }, indent=2))
+    else:
+        for target, report, ok in results:
+            status = "ok" if ok else "FAIL"
+            print(f"== {target}: {report.summary()} [{status}]")
+            for diag in report.sorted():
+                print(f"   {diag.format()}")
+    return 0 if all_ok else 1
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -91,6 +163,25 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("benchmark", choices=names())
     p.add_argument("--flow", choices=FLOW_ORDER, default="ours")
     p.add_argument("--bits", type=int, default=8)
+
+    p = sub.add_parser(
+        "lint",
+        help="design-rule check (DFG -> ETPN -> schedule -> binding -> gates)")
+    p.add_argument("targets", nargs="*", metavar="TARGET",
+                   help="benchmark names or HDL source files "
+                        "(default: every registered benchmark)")
+    p.add_argument("--strict", action="store_true",
+                   help="treat warnings as errors for the exit status")
+    p.add_argument("--format", choices=["text", "json"], default="text",
+                   dest="fmt", help="output format (default: text)")
+    p.add_argument("--bits", type=int, default=8,
+                   help="data-path width for the gate-level rules")
+    p.add_argument("--no-gates", action="store_true",
+                   help="skip the gate-level expansion rules (faster)")
+    p.add_argument("--depth-limit", type=float, default=8.0,
+                   help="sequential C/O depth threshold for TST002")
+    p.add_argument("--list-rules", action="store_true",
+                   help="print the rule table and exit")
 
     args = parser.parse_args(argv)
 
@@ -156,6 +247,8 @@ def main(argv: list[str] | None = None) -> int:
                         ExperimentConfig.quick(args.bits))
         print(render_summary([cell]))
         return 0
+    if args.command == "lint":
+        return _lint_command(args)
     parser.error(f"unknown command {args.command!r}")
     return 2
 

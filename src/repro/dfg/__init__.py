@@ -5,7 +5,8 @@ from .graph import Const, DFG, DependenceEdge, Operation, Variable
 from .lifetime import Lifetime, conflict_graph, disjoint, variable_lifetimes
 from .optimize import (OptimizeStats, eliminate_common_subexpressions,
                        eliminate_dead_code, fold_constants, optimize)
-from .ops import OpKind, UnitClass, compatible, is_commutative, is_comparison, unit_class
+from .ops import (OpKind, UnitClass, compatible, is_commutative,
+                  is_comparison, unit_class)
 from .validate import validate_dfg
 
 __all__ = [

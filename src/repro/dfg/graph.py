@@ -14,7 +14,7 @@ which yields flow, anti and output dependence edges.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterator, Optional, Union
 
 from ..errors import DFGError

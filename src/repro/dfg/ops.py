@@ -50,7 +50,8 @@ class UnitClass(enum.Enum):
         return self.value
 
 
-_COMPARISONS = frozenset({OpKind.LT, OpKind.GT, OpKind.LE, OpKind.GE, OpKind.EQ, OpKind.NE})
+_COMPARISONS = frozenset({OpKind.LT, OpKind.GT, OpKind.LE, OpKind.GE,
+                          OpKind.EQ, OpKind.NE})
 _LOGIC = frozenset({OpKind.AND, OpKind.OR, OpKind.XOR, OpKind.NOT})
 _UNIT_CLASS = {
     OpKind.MUL: UnitClass.MULTIPLIER,

@@ -19,7 +19,7 @@ measure both directions.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from .builder import DFGBuilder
 from .graph import Const, DFG, Operand

@@ -1,80 +1,36 @@
-"""Whole-graph validation for data-flow graphs."""
+"""Whole-graph validation for data-flow graphs.
+
+The invariants live in :mod:`repro.lint.rules_dfg` (codes
+``DFG001``-``DFG009``); this module keeps the raise-style API existing
+callers rely on.  Unlike the original first-error version,
+:func:`validate_dfg` now collects *every* violated rule and raises one
+:class:`~repro.errors.DFGError` listing all of them.
+"""
 
 from __future__ import annotations
 
 from ..errors import DFGError
-from .ops import is_comparison
 
 
 def validate_dfg(dfg) -> None:
     """Check global consistency of a DFG.
 
-    Rules enforced:
+    Rules enforced (the lint layer's error rules):
 
-    * every operand variable exists in the variable table;
+    * every operand and destination variable exists in the variable
+      table;
     * condition variables are defined only by comparisons and never feed
       arithmetic (they are controller inputs, not data);
     * the flow-dependence relation is acyclic (a loop body is
       straight-line; the loop back-edge lives in the control part);
     * a loop condition, when declared, names a condition variable;
-    * at least one primary input and one operation exist.
+    * at least one primary input and one operation exist;
+    * operand counts match each operation's arity.
 
     Raises:
-        DFGError: on the first violated rule.
+        DFGError: listing every violated rule (not just the first).
     """
-    if not dfg.operations:
-        raise DFGError(f"{dfg.name}: empty DFG")
-    if not any(v.is_input for v in dfg.variables.values()):
-        raise DFGError(f"{dfg.name}: no primary inputs")
-
-    for op in dfg.operations.values():
-        for src in op.src_variables():
-            if src not in dfg.variables:
-                raise DFGError(f"{dfg.name}: {op.op_id} reads unknown "
-                               f"variable {src!r}")
-            if dfg.variables[src].is_condition:
-                raise DFGError(f"{dfg.name}: {op.op_id} reads condition "
-                               f"variable {src!r} as data")
-        if op.dst is not None:
-            if op.dst not in dfg.variables:
-                raise DFGError(f"{dfg.name}: {op.op_id} writes unknown "
-                               f"variable {op.dst!r}")
-            if dfg.variables[op.dst].is_condition and not is_comparison(op.kind):
-                raise DFGError(f"{dfg.name}: {op.op_id} writes condition "
-                               f"variable {op.dst!r} but is not a comparison")
-
-    if dfg.loop_condition is not None:
-        if dfg.loop_condition not in dfg.variables:
-            raise DFGError(f"{dfg.name}: unknown loop condition "
-                           f"{dfg.loop_condition!r}")
-        if not dfg.variables[dfg.loop_condition].is_condition:
-            raise DFGError(f"{dfg.name}: loop condition "
-                           f"{dfg.loop_condition!r} is not a condition")
-
-    _check_acyclic(dfg)
-
-
-def _check_acyclic(dfg) -> None:
-    """Detect cycles over all dependence edges with a colouring DFS."""
-    WHITE, GREY, BLACK = 0, 1, 2
-    colour = {op_id: WHITE for op_id in dfg.operations}
-    for root in dfg.operations:
-        if colour[root] != WHITE:
-            continue
-        stack: list[tuple[str, int]] = [(root, 0)]
-        colour[root] = GREY
-        while stack:
-            node, idx = stack[-1]
-            succs = dfg.successors(node)
-            if idx < len(succs):
-                stack[-1] = (node, idx + 1)
-                child = succs[idx].dst
-                if colour[child] == GREY:
-                    raise DFGError(f"{dfg.name}: dependence cycle through "
-                                   f"{child}")
-                if colour[child] == WHITE:
-                    colour[child] = GREY
-                    stack.append((child, 0))
-            else:
-                colour[node] = BLACK
-                stack.pop()
+    from ..lint import lint_dfg
+    errors = lint_dfg(dfg).errors()
+    if errors:
+        raise DFGError("; ".join(d.message for d in errors))

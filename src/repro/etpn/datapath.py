@@ -19,7 +19,7 @@ requires a multiplexer; :meth:`DataPath.mux_count` reproduces the
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from ..alloc.binding import Binding
 from ..dfg import DFG, unit_class, UnitClass

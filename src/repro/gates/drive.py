@@ -76,7 +76,7 @@ def run_functional(design: Design, rtl: RTLDesign, table: ControlTable,
     per_cycle, _ = circuit.run(vectors)
 
     result = GateRunResult()
-    for cond_port, unit_id in rtl.cond_ports.items():
+    for cond_port in rtl.cond_ports:
         cond = cond_port.removeprefix("cond_")
         def_op = design.dfg.defs_of(cond)[0]
         cycle = design.steps[def_op] + 1

@@ -16,7 +16,7 @@ state.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from ..errors import NetlistError
 
@@ -114,11 +114,17 @@ class GateNetlist:
         self.gates[gid] = Gate(gid, GateType.DFF, (d_input,), gate.name)
 
     def check_complete(self) -> None:
-        """Raise NetlistError when any DFF is left unconnected."""
-        for gate in self.gates:
-            if gate.gtype == GateType.DFF and not gate.fanins:
-                raise NetlistError(f"{self.name}: DFF {gate.gid} "
-                                   f"({gate.name!r}) has no D input")
+        """Raise NetlistError when any DFF is left unconnected.
+
+        Delegates to the shared lint-rule implementation (``GAT001``)
+        and reports every floating DFF, not just the first.
+        """
+        from ..lint.rules_gates import floating_dffs
+        floating = floating_dffs(self)
+        if floating:
+            detail = "; ".join(f"DFF {g.gid} ({g.name!r}) has no D input"
+                               for g in floating)
+            raise NetlistError(f"{self.name}: {detail}")
 
     def set_output(self, name: str, gid: int) -> None:
         """Declare a primary output bit driven by gate ``gid``."""

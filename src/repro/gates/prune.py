@@ -13,12 +13,11 @@ cycles).
 
 from __future__ import annotations
 
-from .netlist import Gate, GateNetlist, GateType
+from .netlist import GateNetlist, GateType
 
 
 def observable_gates(netlist: GateNetlist) -> set[int]:
     """Gate ids with a structural path to a primary output."""
-    fanout: dict[int, list[int]] = {g.gid: [] for g in netlist.gates}
     observable: set[int] = set(netlist.outputs.values())
     worklist = list(observable)
     fanin_of = {g.gid: g.fanins for g in netlist.gates}

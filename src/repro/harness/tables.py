@@ -20,7 +20,7 @@ def format_allocation(cell: CellResult) -> list[str]:
     for module, ops in cell.module_groups.items():
         symbol = module_symbol(cell.design, module)
         lines.append(f"({symbol}): " + ", ".join(ops))
-    for register, variables in cell.register_groups.items():
+    for variables in cell.register_groups.values():
         lines.append("R: " + ", ".join(variables))
     return lines
 

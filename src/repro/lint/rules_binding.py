@@ -1,0 +1,107 @@
+"""Binding-layer design rules (codes ``BND001``-``BND007``).
+
+These subsume the raise-on-first-violation checks of
+:func:`repro.alloc.binding.validate_binding` (which now delegates here)
+and add stale-entry and wasted-register warnings the old validator
+could not express.
+"""
+
+from __future__ import annotations
+
+from ..dfg.lifetime import variable_lifetimes
+from ..dfg.ops import unit_class
+from .diagnostic import Severity
+from .registry import Emit, LintContext, rule
+
+
+@rule("BND001", layer="binding", severity=Severity.ERROR,
+      title="unbound operation")
+def check_ops_bound(ctx: LintContext, emit: Emit) -> None:
+    """Every operation must be bound to a functional module."""
+    for op_id in sorted(set(ctx.dfg.operations) - set(ctx.binding.module_of)):
+        emit(f"unbound operation {op_id}", location=op_id)
+
+
+@rule("BND002", layer="binding", severity=Severity.ERROR,
+      title="unbound variable")
+def check_variables_bound(ctx: LintContext, emit: Emit) -> None:
+    """Every register-needing variable must be bound to a register."""
+    needed = {n for n, v in ctx.dfg.variables.items() if v.needs_register()}
+    for name in sorted(needed - set(ctx.binding.register_of)):
+        emit(f"unbound variable {name!r}", location=name)
+
+
+@rule("BND003", layer="binding", severity=Severity.ERROR,
+      title="module mixes unit classes")
+def check_module_classes(ctx: LintContext, emit: Emit) -> None:
+    """All operations sharing a module must run on one unit class."""
+    dfg = ctx.dfg
+    for module, ops in ctx.binding.modules().items():
+        classes = {unit_class(dfg.operations[o].kind)
+                   for o in ops if o in dfg.operations}
+        if len(classes) > 1:
+            emit(f"module {module!r} mixes unit classes {classes}",
+                 location=module,
+                 hint="only compatible operations may share a module")
+
+
+@rule("BND004", layer="binding", severity=Severity.ERROR,
+      title="module step conflict")
+def check_module_steps(ctx: LintContext, emit: Emit) -> None:
+    """Operations sharing a module must occupy distinct control steps."""
+    steps = ctx.steps or {}
+    for module, ops in ctx.binding.modules().items():
+        seen: dict[int, str] = {}
+        for op_id in ops:
+            if op_id not in steps:
+                continue  # SCH001 reports missing steps
+            step = steps[op_id]
+            if step in seen:
+                emit(f"module {module!r}: {seen[step]} and {op_id} both "
+                     f"scheduled in step {step}", location=module,
+                     hint="reschedule one of the operations")
+            else:
+                seen[step] = op_id
+
+
+@rule("BND005", layer="binding", severity=Severity.ERROR,
+      title="register lifetime overlap")
+def check_register_lifetimes(ctx: LintContext, emit: Emit) -> None:
+    """Variables sharing a register must have disjoint lifetimes."""
+    dfg, steps = ctx.dfg, ctx.steps or {}
+    if set(dfg.operations) - set(steps):
+        return  # lifetimes undefined until the schedule is complete
+    lifetimes = variable_lifetimes(dfg, steps)
+    for register, variables in ctx.binding.registers().items():
+        present = [lifetimes[v] for v in variables if v in lifetimes]
+        for i, a in enumerate(present):
+            for b in present[i + 1:]:
+                if a.overlaps(b):
+                    emit(f"register {register!r}: lifetimes of "
+                         f"{a.variable} {a} and {b.variable} {b} overlap",
+                         location=register,
+                         hint="reschedule or unmerge the registers")
+
+
+@rule("BND006", layer="binding", severity=Severity.WARNING,
+      title="register for a register-free variable")
+def check_condition_registers(ctx: LintContext, emit: Emit) -> None:
+    """Condition variables feed the controller combinationally and do
+    not need a register."""
+    for name in sorted(ctx.binding.register_of):
+        variable = ctx.dfg.variables.get(name)
+        if variable is not None and not variable.needs_register():
+            emit(f"variable {name!r} is a condition but is bound to "
+                 f"register {ctx.binding.register_of[name]!r}",
+                 location=name, hint="conditions are controller inputs")
+
+
+@rule("BND007", layer="binding", severity=Severity.WARNING,
+      title="stale binding entry")
+def check_stale_entries(ctx: LintContext, emit: Emit) -> None:
+    """Binding entries for operations or variables the DFG does not
+    contain are left-overs from a transformed design."""
+    for op_id in sorted(set(ctx.binding.module_of) - set(ctx.dfg.operations)):
+        emit(f"binding names unknown operation {op_id}", location=op_id)
+    for name in sorted(set(ctx.binding.register_of) - set(ctx.dfg.variables)):
+        emit(f"binding names unknown variable {name!r}", location=name)

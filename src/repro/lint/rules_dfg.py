@@ -1,0 +1,204 @@
+"""DFG-layer design rules (codes ``DFG001``-``DFG012``).
+
+The error rules reproduce, collect-all style, exactly the invariants the
+raise-on-first-violation validator (:func:`repro.dfg.validate.validate_dfg`)
+used to enforce — that validator now delegates here.  The warning rules
+flag legal-but-suspect structure the old validator could not express:
+dead operations, write-only variables and unused primary inputs.
+"""
+
+from __future__ import annotations
+
+from ..dfg.ops import arity, is_comparison
+from .diagnostic import Severity
+from .registry import Emit, LintContext, rule
+
+
+@rule("DFG001", layer="dfg", severity=Severity.ERROR, title="empty DFG")
+def check_non_empty(ctx: LintContext, emit: Emit) -> None:
+    """The graph must contain at least one operation."""
+    if not ctx.dfg.operations:
+        emit(f"{ctx.dfg.name}: empty DFG",
+             hint="a behaviour needs at least one operation")
+
+
+@rule("DFG002", layer="dfg", severity=Severity.ERROR,
+      title="no primary inputs")
+def check_has_inputs(ctx: LintContext, emit: Emit) -> None:
+    """At least one variable must carry a primary-input value."""
+    dfg = ctx.dfg
+    if dfg.operations and not any(v.is_input for v in dfg.variables.values()):
+        emit(f"{dfg.name}: no primary inputs",
+             hint="every data path is driven from input ports")
+
+
+@rule("DFG003", layer="dfg", severity=Severity.ERROR,
+      title="unknown source variable")
+def check_sources_exist(ctx: LintContext, emit: Emit) -> None:
+    """Every operand variable must exist in the variable table."""
+    dfg = ctx.dfg
+    for op in dfg.operations.values():
+        for src in op.src_variables():
+            if src not in dfg.variables:
+                emit(f"{dfg.name}: {op.op_id} reads unknown variable {src!r}",
+                     location=op.op_id)
+
+
+@rule("DFG004", layer="dfg", severity=Severity.ERROR,
+      title="condition variable read as data")
+def check_conditions_not_data(ctx: LintContext, emit: Emit) -> None:
+    """Condition variables feed the controller, never arithmetic."""
+    dfg = ctx.dfg
+    for op in dfg.operations.values():
+        for src in op.src_variables():
+            variable = dfg.variables.get(src)
+            if variable is not None and variable.is_condition:
+                emit(f"{dfg.name}: {op.op_id} reads condition variable "
+                     f"{src!r} as data", location=op.op_id)
+
+
+@rule("DFG005", layer="dfg", severity=Severity.ERROR,
+      title="unknown destination variable")
+def check_destinations_exist(ctx: LintContext, emit: Emit) -> None:
+    """Every destination must exist in the variable table."""
+    dfg = ctx.dfg
+    for op in dfg.operations.values():
+        if op.dst is not None and op.dst not in dfg.variables:
+            emit(f"{dfg.name}: {op.op_id} writes unknown variable "
+                 f"{op.dst!r}", location=op.op_id)
+
+
+@rule("DFG006", layer="dfg", severity=Severity.ERROR,
+      title="non-comparison writes a condition")
+def check_condition_writers(ctx: LintContext, emit: Emit) -> None:
+    """Only comparisons may define condition variables."""
+    dfg = ctx.dfg
+    for op in dfg.operations.values():
+        if op.dst is None:
+            continue
+        variable = dfg.variables.get(op.dst)
+        if (variable is not None and variable.is_condition
+                and not is_comparison(op.kind)):
+            emit(f"{dfg.name}: {op.op_id} writes condition variable "
+                 f"{op.dst!r} but is not a comparison", location=op.op_id)
+
+
+@rule("DFG007", layer="dfg", severity=Severity.ERROR,
+      title="bad loop condition")
+def check_loop_condition(ctx: LintContext, emit: Emit) -> None:
+    """A declared loop condition must name a condition variable."""
+    dfg = ctx.dfg
+    if dfg.loop_condition is None:
+        return
+    if dfg.loop_condition not in dfg.variables:
+        emit(f"{dfg.name}: unknown loop condition {dfg.loop_condition!r}")
+    elif not dfg.variables[dfg.loop_condition].is_condition:
+        emit(f"{dfg.name}: loop condition {dfg.loop_condition!r} is not "
+             f"a condition")
+
+
+@rule("DFG008", layer="dfg", severity=Severity.ERROR,
+      title="dependence cycle")
+def check_acyclic(ctx: LintContext, emit: Emit) -> None:
+    """The flow-dependence relation must be acyclic (loop back-edges
+    live in the control part, not in the data-flow graph)."""
+    for node in find_cycle_nodes(ctx.dfg):
+        emit(f"{ctx.dfg.name}: dependence cycle through {node}",
+             location=node)
+
+
+@rule("DFG009", layer="dfg", severity=Severity.ERROR,
+      title="malformed operation")
+def check_operation_shape(ctx: LintContext, emit: Emit) -> None:
+    """Operand counts must match the operation's arity, and only
+    comparisons may omit a destination."""
+    for op in ctx.dfg.operations.values():
+        expected = arity(op.kind)
+        if len(op.srcs) != expected:
+            emit(f"operation {op.op_id}: {op.kind} expects {expected} "
+                 f"operands, got {len(op.srcs)}", location=op.op_id)
+        if op.dst is None and not is_comparison(op.kind):
+            emit(f"operation {op.op_id}: only comparisons may omit dst",
+                 location=op.op_id)
+
+
+@rule("DFG010", layer="dfg", severity=Severity.WARNING,
+      title="dead operation")
+def check_dead_operations(ctx: LintContext, emit: Emit) -> None:
+    """An operation whose result is never read (and is not the final
+    definition of a primary output) is dead hardware."""
+    dfg = ctx.dfg
+    for op in dfg.operations.values():
+        if op.dst is None:
+            continue
+        variable = dfg.variables.get(op.dst)
+        if variable is None or variable.is_condition:
+            continue
+        if any(e.kind == "flow" for e in dfg.successors(op.op_id)):
+            continue
+        defs = dfg.defs_of(op.dst)
+        if variable.is_output and defs and defs[-1] == op.op_id:
+            continue
+        emit(f"{dfg.name}: {op.op_id} computes {op.dst!r} but the value "
+             f"is never used", location=op.op_id,
+             hint="remove the operation or declare the variable an output")
+
+
+@rule("DFG011", layer="dfg", severity=Severity.WARNING,
+      title="write-only variable")
+def check_write_only_variables(ctx: LintContext, emit: Emit) -> None:
+    """A non-output variable that is defined but never read wastes a
+    register."""
+    dfg = ctx.dfg
+    for name in sorted(dfg.variables):
+        variable = dfg.variables[name]
+        if variable.is_output or variable.is_condition or variable.is_input:
+            continue
+        if dfg.defs_of(name) and not dfg.uses_of(name):
+            emit(f"{dfg.name}: variable {name!r} is written but never read",
+                 location=name,
+                 hint="dead-code elimination would remove it")
+
+
+@rule("DFG012", layer="dfg", severity=Severity.WARNING,
+      title="unused primary input")
+def check_unused_inputs(ctx: LintContext, emit: Emit) -> None:
+    """A primary input no operation reads is a dangling port."""
+    dfg = ctx.dfg
+    for name in sorted(dfg.variables):
+        variable = dfg.variables[name]
+        if variable.is_input and not dfg.uses_of(name):
+            emit(f"{dfg.name}: input {name!r} is never read", location=name,
+                 hint="drop the port or wire it into the behaviour")
+
+
+def find_cycle_nodes(dfg) -> list[str]:
+    """Nodes through which a dependence cycle was detected (colouring DFS).
+
+    Shared implementation: the DFG validator's acyclicity check and rule
+    DFG008 both use it.  Returns one witness node per cycle found.
+    """
+    white, grey, black = 0, 1, 2
+    colour = {op_id: white for op_id in dfg.operations}
+    witnesses: list[str] = []
+    for root in dfg.operations:
+        if colour[root] != white:
+            continue
+        stack: list[tuple[str, int]] = [(root, 0)]
+        colour[root] = grey
+        while stack:
+            node, idx = stack[-1]
+            succs = dfg.successors(node)
+            if idx < len(succs):
+                stack[-1] = (node, idx + 1)
+                child = succs[idx].dst
+                if colour[child] == grey:
+                    if child not in witnesses:
+                        witnesses.append(child)
+                elif colour[child] == white:
+                    colour[child] = grey
+                    stack.append((child, 0))
+            else:
+                colour[node] = black
+                stack.pop()
+    return witnesses

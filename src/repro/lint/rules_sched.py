@@ -1,0 +1,73 @@
+"""Schedule-layer design rules (codes ``SCH001``-``SCH005``).
+
+The precedence rule reuses the same implementation the raise-style
+checker (:func:`repro.sched.constraints.check_precedence`) is built on,
+so the two can never drift apart.
+"""
+
+from __future__ import annotations
+
+from ..sched.constraints import precedence_violations
+from ..sched.schedule import schedule_length
+from .diagnostic import Severity
+from .registry import Emit, LintContext, rule
+
+
+@rule("SCH001", layer="sched", severity=Severity.ERROR,
+      title="unscheduled operation")
+def check_complete(ctx: LintContext, emit: Emit) -> None:
+    """Every operation of the DFG must be assigned a control step."""
+    for op_id in sorted(set(ctx.dfg.operations) - set(ctx.steps)):
+        emit(f"{ctx.dfg.name}: operation {op_id} has no control step",
+             location=op_id)
+
+
+@rule("SCH002", layer="sched", severity=Severity.ERROR,
+      title="unknown scheduled operation")
+def check_no_stale_ops(ctx: LintContext, emit: Emit) -> None:
+    """The schedule must not mention operations absent from the DFG."""
+    for op_id in sorted(set(ctx.steps) - set(ctx.dfg.operations)):
+        emit(f"{ctx.dfg.name}: schedule names unknown operation {op_id}",
+             location=op_id,
+             hint="stale entry from a transformed design?")
+
+
+@rule("SCH003", layer="sched", severity=Severity.ERROR,
+      title="negative control step")
+def check_non_negative(ctx: LintContext, emit: Emit) -> None:
+    """Control steps are counted from 0."""
+    for op_id in sorted(ctx.steps):
+        if ctx.steps[op_id] < 0:
+            emit(f"{ctx.dfg.name}: operation {op_id} scheduled in negative "
+                 f"step {ctx.steps[op_id]}", location=op_id)
+
+
+@rule("SCH004", layer="sched", severity=Severity.ERROR,
+      title="precedence violation")
+def check_precedence_edges(ctx: LintContext, emit: Emit) -> None:
+    """Every dependence edge needs its minimum step gap (flow/output
+    edges need the producer's delay; anti edges allow sharing a step)."""
+    if set(ctx.dfg.operations) - set(ctx.steps):
+        return  # incomplete schedules are reported by SCH001 instead
+    for violation in precedence_violations(ctx.dfg, ctx.steps):
+        edge = violation.edge
+        emit(f"{ctx.dfg.name}: {edge.kind} dependence "
+             f"{edge.src}@{violation.src_step} -> "
+             f"{edge.dst}@{violation.dst_step} needs a gap "
+             f">= {violation.required_gap}", location=edge.dst,
+             hint="reschedule the consumer later")
+
+
+@rule("SCH005", layer="sched", severity=Severity.INFO,
+      title="empty control step")
+def check_no_gaps(ctx: LintContext, emit: Emit) -> None:
+    """Steps nothing executes in only lengthen the schedule (the paper's
+    dummy steps are legal, hence informational)."""
+    if not ctx.steps:
+        return
+    used = {s for s in ctx.steps.values() if s >= 0}
+    for step in range(schedule_length(ctx.steps)):
+        if step not in used:
+            emit(f"{ctx.dfg.name}: control step {step} is empty",
+                 location=f"step {step}",
+                 hint="compact() removes empty steps")

@@ -1,0 +1,61 @@
+"""Testability-layer design rules (codes ``TST001``-``TST003``).
+
+These encode the smells the paper's synthesis algorithm works to avoid:
+module-register self-loops (Mujumdar et al.) and deep controllability/
+observability sequential paths — the structures rules SR1/SR2 of the
+C/O enhancement strategy (§4.3) exist to break up.  They are warnings:
+a design with them is legal, just harder to test.
+"""
+
+from __future__ import annotations
+
+from ..testability.depth import register_depths
+from ..testability.metrics import UNREACHABLE_DEPTH
+from .diagnostic import Severity
+from .registry import Emit, LintContext, rule
+
+
+@rule("TST001", layer="testability", severity=Severity.WARNING,
+      title="module-register self-loop")
+def check_self_loops(ctx: LintContext, emit: Emit) -> None:
+    """A module whose output register feeds one of its own inputs is
+    hard to test without breaking the loop."""
+    for module, register in ctx.datapath.self_loops():
+        emit(f"module {module!r} and register {register!r} form a "
+             f"self-loop", location=module,
+             hint="a register merger or partial scan can break it")
+
+
+@rule("TST002", layer="testability", severity=Severity.WARNING,
+      title="deep sequential C/O path")
+def check_sequential_depth(ctx: LintContext, emit: Emit) -> None:
+    """A register many clocked stages away from controllable inputs and
+    observable outputs (SR1's quantity) needs long justification and
+    propagation sequences."""
+    for depth in register_depths(ctx.datapath).values():
+        if depth.depth_in >= UNREACHABLE_DEPTH or \
+                depth.depth_out >= UNREACHABLE_DEPTH:
+            continue  # TST003 reports unreachable registers
+        if depth.total > ctx.depth_limit:
+            emit(f"register {depth.register!r} has sequential C/O depth "
+                 f"{depth.total:.0f} (in {depth.depth_in:.0f} + out "
+                 f"{depth.depth_out:.0f}), above the limit "
+                 f"{ctx.depth_limit:.0f}", location=depth.register,
+                 hint="the SR1/SR2 enhancement strategy shortens such "
+                      "paths during rescheduling")
+
+
+@rule("TST003", layer="testability", severity=Severity.WARNING,
+      title="uncontrollable or unobservable register")
+def check_registers_reachable(ctx: LintContext, emit: Emit) -> None:
+    """A register with no structural path from the inputs (or to the
+    outputs) cannot be tested at all."""
+    for depth in register_depths(ctx.datapath).values():
+        if depth.depth_in >= UNREACHABLE_DEPTH:
+            emit(f"register {depth.register!r} is unreachable from the "
+                 f"primary inputs", location=depth.register,
+                 hint="it can never be controlled")
+        if depth.depth_out >= UNREACHABLE_DEPTH:
+            emit(f"register {depth.register!r} reaches no primary output "
+                 f"or condition line", location=depth.register,
+                 hint="it can never be observed")

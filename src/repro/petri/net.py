@@ -11,7 +11,7 @@ Diffeq); guarded transitions model loops and branches.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 from ..errors import PetriNetError
@@ -150,11 +150,17 @@ class PetriNet:
                 if t.guard is not None}
 
     def validate(self) -> None:
-        """Check structural sanity: initial marking set and non-empty net."""
-        if not self.places:
-            raise PetriNetError(f"{self.name}: no places")
-        if not self.initial_marking:
-            raise PetriNetError(f"{self.name}: no initial marking")
+        """Check structural sanity: initial marking set, non-empty net,
+        every transition sourced (lint rules ``NET001``/``NET002``/
+        ``NET006``, which this raise-style wrapper delegates to).
+
+        Raises:
+            PetriNetError: listing every violated structural rule.
+        """
+        from ..lint import lint_petri
+        errors = lint_petri(self).errors()
+        if errors:
+            raise PetriNetError("; ".join(d.message for d in errors))
 
     def __repr__(self) -> str:  # pragma: no cover - debug helper
         return (f"PetriNet({self.name!r}, {len(self.places)} places, "

@@ -10,7 +10,6 @@ controller can be modified to support the test plan) drives.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Union
 
 from ..dfg.ops import OpKind
 

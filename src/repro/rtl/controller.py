@@ -13,10 +13,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from ..dfg.graph import Const
 from ..etpn.design import Design
 from ..errors import NetlistError
-from .components import RTLDesign, Ref, const_ref, port_ref, reg_ref, unit_ref
+from .components import RTLDesign, Ref, port_ref, unit_ref
 from .generate import _operand_ref
 
 

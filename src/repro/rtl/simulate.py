@@ -11,7 +11,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from ..dfg.ops import OpKind
 from ..errors import NetlistError
 from ..etpn.design import Design
 from .components import RTLDesign, Ref

@@ -13,8 +13,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..gates.netlist import GateNetlist, GateType
-from .expand import SCAN_ENABLE, SCAN_IN, ScanChain
-from ..atpg.unroll import (OP_BUF, OP_PI, UnrolledCircuit, _CODE)
+from .expand import SCAN_ENABLE, SCAN_IN
+from ..atpg.unroll import OP_PI, UnrolledCircuit, _CODE
 
 
 def unroll_full_scan(netlist: GateNetlist) -> UnrolledCircuit:

@@ -11,7 +11,7 @@ import random
 import time
 from dataclasses import dataclass, field
 
-from ..atpg import ATPGConfig, Fault, FaultSimulator, full_fault_list
+from ..atpg import ATPGConfig, FaultSimulator, full_fault_list
 from ..atpg.podem import PodemEngine
 from ..atpg.random_tpg import random_phase
 from ..cost import ModuleLibrary, DEFAULT_LIBRARY

@@ -31,4 +31,7 @@ __all__ = [
     "run_ours",
     "synthesize",
     "top_k",
+    "try_merge",
+    "try_merge_modules",
+    "try_merge_registers",
 ]

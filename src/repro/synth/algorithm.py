@@ -9,7 +9,7 @@ simultaneously), applies the pair with the smallest
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from ..cost import CostModel
 from ..dfg import DFG
@@ -17,7 +17,7 @@ from ..errors import SynthesisError
 from ..etpn.design import Design
 from ..etpn.from_dfg import default_design
 from ..testability import analyze
-from .candidates import CandidatePair, rank_candidates
+from .candidates import rank_candidates
 from .merger import MergeOutcome, try_merge
 from .result import MergeRecord, SynthesisResult
 
@@ -40,6 +40,10 @@ class SynthesisParams:
         max_execution_time: optional design constraint — mergers that
             would push E past this many control steps are rejected.
         max_iterations: safety bound on the merger loop.
+        debug_lint: re-lint the design after every applied merger and
+            abort with :class:`SynthesisError` the moment a
+            transformation produces an illegal design.  Slow; meant for
+            debugging new transformations, not production runs.
     """
 
     k: int = 3
@@ -48,6 +52,7 @@ class SynthesisParams:
     require_improvement: bool = True
     max_execution_time: int | None = None
     max_iterations: int = 10_000
+    debug_lint: bool = False
     #: Candidate ranking: "balance" (the paper, §3) or "connectivity"
     #: (the conventional strawman — used by the A1 ablation bench).
     selection: str = "balance"
@@ -81,6 +86,8 @@ def synthesize(dfg: DFG, params: SynthesisParams | None = None,
         if outcome is None:
             break
         design = outcome.design.replaced(label=label)
+        if params.debug_lint:
+            _debug_lint(design, iteration, outcome)
         history.append(MergeRecord(
             iteration=iteration, kind=outcome.kind, kept=outcome.kept,
             absorbed=outcome.absorbed, delta_e=outcome.delta_e,
@@ -96,6 +103,16 @@ def synthesize(dfg: DFG, params: SynthesisParams | None = None,
                            params={"k": params.k, "alpha": params.alpha,
                                    "beta": params.beta,
                                    "bits": cost_model.bits})
+
+
+def _debug_lint(design: Design, iteration: int, outcome: MergeOutcome) -> None:
+    """Fail fast when a merger produced an illegal design (debug aid)."""
+    report = design.lint()
+    if report.has_errors:
+        detail = "; ".join(d.message for d in report.errors())
+        raise SynthesisError(
+            f"{design.dfg.name}: lint errors after merger #{iteration} "
+            f"({outcome.kind} {outcome.absorbed} -> {outcome.kept}): {detail}")
 
 
 def _admissible(params: SynthesisParams, base: Design,

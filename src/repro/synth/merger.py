@@ -17,7 +17,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from ..alloc.binding import Binding
 from ..cost import CostModel
 from ..errors import BindingError
 from ..etpn.design import Design

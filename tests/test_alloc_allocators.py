@@ -1,6 +1,5 @@
 """Unit tests for left-edge, modified left-edge and module binders."""
 
-import pytest
 
 from repro.alloc import (connectivity_left_edge, connectivity_module_binding,
                          left_edge, min_module_binding)

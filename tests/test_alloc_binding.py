@@ -2,7 +2,8 @@
 
 import pytest
 
-from repro.alloc import Binding, default_binding, module_unit_class, validate_binding
+from repro.alloc import (default_binding, module_unit_class,
+                         validate_binding)
 from repro.dfg import UnitClass
 from repro.errors import BindingError
 

@@ -57,7 +57,7 @@ class TestExAgainstTable1:
         """Ops sharing a module must admit distinct steps: within each
         published group there is a dependence chain or independence —
         never a same-step *requirement*."""
-        from repro.dfg.analysis import asap_steps, critical_path_length
+        from repro.dfg.analysis import critical_path_length
         dfg = load("ex")
         assert critical_path_length(dfg) >= 4
 

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.alloc import default_binding
-from repro.cost import CostModel, DEFAULT_LIBRARY, ModuleLibrary, floorplan
+from repro.cost import CostModel, DEFAULT_LIBRARY, floorplan
 from repro.cost.floorplan import Slot, _spiral
 from repro.dfg import UnitClass
 from repro.etpn import DataPath, default_design

@@ -8,7 +8,6 @@ import pytest
 from repro.bench import load
 from repro.dfg import UnitClass
 from repro.gates import CompiledCircuit, GateNetlist, GateType
-from repro.gates.simulate import FULL
 from repro.petri import (FINAL_PLACE, Guard, PetriNet, ReachabilityTree,
                          critical_path, execution_time)
 from repro.sched import check_precedence, fds_schedule, peak_usage

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.dfg import DFGBuilder, variable_lifetimes, conflict_graph, disjoint
+from repro.dfg import variable_lifetimes, conflict_graph, disjoint
 from repro.dfg.lifetime import Lifetime, max_overlap
 from repro.errors import ScheduleError
 

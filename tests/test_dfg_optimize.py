@@ -1,6 +1,5 @@
 """Unit tests for the behavioural optimisation passes."""
 
-import pytest
 
 from repro.bench import load
 from repro.dfg import DFGBuilder, OpKind

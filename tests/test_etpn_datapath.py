@@ -1,6 +1,5 @@
 """Unit tests for the ETPN data-path graph."""
 
-import pytest
 
 from repro.alloc import default_binding
 from repro.dfg import DFGBuilder

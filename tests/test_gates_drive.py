@@ -1,10 +1,8 @@
 """Unit tests for the gate-level functional driver helpers."""
 
-import pytest
 
 from repro.bench import load
 from repro.etpn import default_design
-from repro.gates import CompiledCircuit, expand_to_gates
 from repro.gates.drive import broadcast, functional_vectors, read_word
 from repro.gates.simulate import FULL
 from repro.rtl import build_control_table, generate_rtl

@@ -1,0 +1,71 @@
+"""Tests for the ``repro-hlts lint`` subcommand."""
+
+from __future__ import annotations
+
+import json
+
+from repro.cli import main
+
+HDL_SOURCE = """\
+design tiny;
+input a, b;
+output z;
+begin
+  T1: z := a + b;
+end
+"""
+
+
+class TestLintCli:
+    def test_list_rules(self, capsys):
+        assert main(["lint", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        assert "DFG001" in out and "GAT001" in out and "TST001" in out
+
+    def test_single_benchmark_text(self, capsys):
+        assert main(["lint", "ex", "--no-gates"]) == 0
+        out = capsys.readouterr().out
+        assert "== ex:" in out and "[ok]" in out
+
+    def test_all_paper_benchmarks_pass(self, capsys):
+        assert main(["lint", "ex", "dct", "diffeq", "ewf", "paulin",
+                     "tseng", "--no-gates"]) == 0
+
+    def test_json_format(self, capsys):
+        assert main(["lint", "ex", "--no-gates", "--format", "json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["ok"] is True
+        assert data["targets"][0]["name"] == "ex"
+        assert "diagnostics" in data["targets"][0]
+
+    def test_strict_fails_on_warnings(self, capsys):
+        # diffeq's default design carries module-register self-loops
+        # (TST001), so warnings-as-errors must flip the exit status.
+        assert main(["lint", "diffeq", "--no-gates", "--strict"]) == 1
+        assert "[FAIL]" in capsys.readouterr().out
+
+    def test_hdl_file_target(self, tmp_path, capsys):
+        source = tmp_path / "tiny.hdl"
+        source.write_text(HDL_SOURCE)
+        assert main(["lint", str(source), "--no-gates"]) == 0
+        assert "tiny" in capsys.readouterr().out
+
+    def test_unknown_target(self, capsys):
+        assert main(["lint", "no-such-benchmark"]) == 2
+        assert "neither" in capsys.readouterr().err
+
+    def test_directory_target_rejected(self, tmp_path, capsys):
+        assert main(["lint", str(tmp_path)]) == 2
+        assert "neither" in capsys.readouterr().err
+
+    def test_uncompilable_hdl_reported_as_diagnostic(self, tmp_path, capsys):
+        source = tmp_path / "bad.hdl"
+        source.write_text("design broken;\ninput a\nNOT HDL {{{\n")
+        assert main(["lint", str(source), "ex", "--no-gates"]) == 1
+        out = capsys.readouterr().out
+        assert "LNT001" in out and "cannot compile" in out
+        assert "== ex:" in out  # the run continues past the broken target
+
+    def test_gate_layer_runs(self, capsys):
+        assert main(["lint", "ex", "--bits", "4"]) == 0
+        assert "== ex:" in capsys.readouterr().out

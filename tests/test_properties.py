@@ -12,7 +12,7 @@ from __future__ import annotations
 import hypothesis.strategies as st
 from hypothesis import given, settings
 
-from repro.alloc import default_binding, left_edge
+from repro.alloc import left_edge
 from repro.dfg import DFGBuilder, OpKind, variable_lifetimes
 from repro.dfg.analysis import (alap_steps, asap_steps, critical_path_length)
 from repro.dfg.lifetime import max_overlap

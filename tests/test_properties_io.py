@@ -1,6 +1,5 @@
 """Property-based round-trip tests for serialisation and exports."""
 
-import hypothesis.strategies as st
 from hypothesis import given, settings
 
 from repro.etpn import default_design

@@ -4,7 +4,6 @@ import pytest
 
 from repro.atpg.results import ATPGResult
 from repro.bench import load
-from repro.etpn import default_design
 from repro.rtl import build_control_table, generate_rtl
 from repro.rtl.components import Ref, const_ref, port_ref, reg_ref, unit_ref
 

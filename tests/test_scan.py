@@ -2,12 +2,11 @@
 
 import pytest
 
-from repro.atpg import ATPGConfig, Fault, FaultSimulator, RandomPhaseConfig
+from repro.atpg import ATPGConfig, Fault, RandomPhaseConfig
 from repro.atpg.podem import PodemEngine
 from repro.bench import load
 from repro.errors import NetlistError
-from repro.etpn import default_design
-from repro.gates import CompiledCircuit, expand_to_gates, GateNetlist, GateType
+from repro.gates import CompiledCircuit, expand_to_gates, GateNetlist
 from repro.gates.simulate import FULL
 from repro.rtl import generate_rtl
 from repro.scan import (ScanTestCost, chain_bits_for_registers,

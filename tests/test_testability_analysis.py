@@ -1,10 +1,9 @@
 """Unit tests for CC/SC/CO/SO propagation."""
 
-import pytest
 
 from repro.alloc import default_binding
 from repro.etpn import DataPath, default_design
-from repro.testability import analyze, UNREACHABLE_DEPTH
+from repro.testability import analyze
 
 
 class TestForwardPropagation:

@@ -1,6 +1,5 @@
 """Unit tests for the testability report renderers and HDL optimise flag."""
 
-import pytest
 
 from repro.bench import load
 from repro.etpn import default_design
