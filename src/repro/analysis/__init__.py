@@ -1,0 +1,47 @@
+"""repro.analysis — whole-design static analysis of ETPN designs.
+
+Three analyses that together prove (or refute) the paper's claim that
+merger transformations are semantics-preserving:
+
+* :class:`ReachabilityGraph` — the reachable markings of the control
+  part with *global* marking deduplication (unlike
+  :class:`repro.petri.reachability.ReachabilityTree`, which only prunes
+  duplicates along one root path and blows up exponentially on
+  concurrent control structures);
+* :class:`MHPAnalysis` / :class:`ConcurrencyAnalysis` — the
+  may-happen-in-parallel relation over places, transitions and bound
+  operations, joined against the binding to detect control-level races
+  (``RAC0xx`` lint rules);
+* :func:`certify` — a symbolic value-flow certifier that executes the
+  scheduled + bound data path control step by control step and proves
+  every DFG output computes the original behavioural expression
+  (``EQV0xx`` lint rules on divergence).
+
+:func:`analyze_design` bundles all three for one design point; the
+``repro-hlts analyze`` CLI subcommand, the ``analysis`` lint layer and
+``SynthesisParams(verify_mergers=True)`` all go through it.
+"""
+
+from .equivalence import (COMMUTATIVE, Divergence, EquivalenceCertificate,
+                          ValueNumbering, certify)
+from .mhp import MHPAnalysis
+from .races import ConcurrencyAnalysis, RaceFinding
+from .reach_graph import GraphEdge, ReachabilityGraph, UnsafeFiring
+from .verify import AnalysisResult, analyze_design, merger_preserves_semantics
+
+__all__ = [
+    "AnalysisResult",
+    "COMMUTATIVE",
+    "ConcurrencyAnalysis",
+    "Divergence",
+    "EquivalenceCertificate",
+    "GraphEdge",
+    "MHPAnalysis",
+    "RaceFinding",
+    "ReachabilityGraph",
+    "UnsafeFiring",
+    "ValueNumbering",
+    "analyze_design",
+    "certify",
+    "merger_preserves_semantics",
+]

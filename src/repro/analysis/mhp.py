@@ -1,0 +1,104 @@
+"""The may-happen-in-parallel (MHP) relation of a control part.
+
+Derived from the memoised :class:`~repro.analysis.reach_graph.ReachabilityGraph`:
+
+* two *places* may happen in parallel when some reachable marking holds
+  tokens in both (a place is trivially parallel with itself once it is
+  ever marked — everything resting in it happens within one control
+  step);
+* two *transitions* are concurrently enabled when both are enabled in
+  one reachable marking.  Pairs with disjoint input places are true
+  concurrency (they can fire independently); pairs sharing an input
+  place are in *conflict* (a choice, e.g. the guarded loop/exit pair);
+* two *operations* may happen in parallel when the places they execute
+  in may — this is the relation the race detector
+  (:mod:`repro.analysis.races`) joins against the binding.
+
+For the linear control nets built from a schedule the op-level MHP
+relation degenerates to "same control step", which is exactly what the
+schedule-level lint rules already see.  Its value is on control parts
+with forks, guarded branches and loops, where the linear schedule view
+under-approximates concurrency.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+
+from ..petri.net import PetriNet
+from .reach_graph import DEFAULT_MAX_MARKINGS, ReachabilityGraph
+
+
+class MHPAnalysis:
+    """MHP relations over places and transitions of one net."""
+
+    def __init__(self, net: PetriNet,
+                 max_markings: int = DEFAULT_MAX_MARKINGS) -> None:
+        self.net = net
+        self.graph = ReachabilityGraph(net, max_markings)
+        #: Places that hold a token in at least one reachable marking.
+        self.marked_places: set[str] = set()
+        #: Unordered pairs of distinct places co-marked somewhere.
+        self.place_pairs: set[frozenset[str]] = set()
+        #: Unordered pairs of distinct transitions enabled together.
+        self.enabled_pairs: set[frozenset[str]] = set()
+        #: The subset of ``enabled_pairs`` with disjoint input places.
+        self.concurrent_pairs: set[frozenset[str]] = set()
+        self._compute()
+
+    def _compute(self) -> None:
+        for marking in self.graph.markings:
+            self.marked_places |= marking
+            for p, q in combinations(sorted(marking), 2):
+                self.place_pairs.add(frozenset((p, q)))
+            enabled = [t for t in self.net.enabled(marking) if t.inputs]
+            for a, b in combinations(enabled, 2):
+                pair = frozenset((a.trans_id, b.trans_id))
+                self.enabled_pairs.add(pair)
+                if not set(a.inputs) & set(b.inputs):
+                    self.concurrent_pairs.add(pair)
+
+    # ------------------------------------------------------------------
+    def conflict_pairs(self) -> set[frozenset[str]]:
+        """Transition pairs enabled together but competing for a token."""
+        return self.enabled_pairs - self.concurrent_pairs
+
+    def places_parallel(self, p: str, q: str) -> bool:
+        """May places ``p`` and ``q`` hold tokens at the same time?"""
+        if p == q:
+            return p in self.marked_places
+        return frozenset((p, q)) in self.place_pairs
+
+    def transitions_parallel(self, a: str, b: str) -> bool:
+        """May transitions ``a`` and ``b`` fire truly concurrently?"""
+        return a != b and frozenset((a, b)) in self.concurrent_pairs
+
+    # ------------------------------------------------------------------
+    def op_pairs(self, placement: dict[str, str],
+                 include_same_place: bool = True) -> set[frozenset[str]]:
+        """Unordered MHP pairs of operations under ``placement``.
+
+        Args:
+            placement: op_id -> place the operation executes in.  Ops
+                placed in unknown places are ignored (defensive: a
+                broken schedule is reported by the schedule rules).
+            include_same_place: also count two operations resting in the
+                same (reachable) place — they execute within one control
+                step.  Set False for strictly cross-step concurrency.
+        """
+        pairs: set[frozenset[str]] = set()
+        placed = sorted(o for o, p in placement.items()
+                        if p in self.net.places)
+        for a, b in combinations(placed, 2):
+            pa, pb = placement[a], placement[b]
+            if pa == pb:
+                if include_same_place and pa in self.marked_places:
+                    pairs.add(frozenset((a, b)))
+            elif frozenset((pa, pb)) in self.place_pairs:
+                pairs.add(frozenset((a, b)))
+        return pairs
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return (f"MHPAnalysis({self.net.name!r}, "
+                f"{len(self.graph)} markings, "
+                f"{len(self.place_pairs)} parallel place pairs)")

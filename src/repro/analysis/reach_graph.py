@@ -1,0 +1,123 @@
+"""Memoised reachability graph of a safe timed Petri net.
+
+:class:`repro.petri.reachability.ReachabilityTree` follows Peterson's
+construction: a branch stops only when its marking repeats *on the path
+from the root*.  Two concurrently-marked chains of length ``n`` then
+enumerate every interleaving — ``O(2^n)`` tree nodes for a state space
+of ``O(n^2)`` distinct markings.  The graph here deduplicates markings
+globally: each reachable marking is visited exactly once (BFS from the
+initial marking), so its size is bounded by the number of *distinct*
+reachable markings, which is what the may-happen-in-parallel analysis
+(:mod:`repro.analysis.mhp`) needs to stay polynomial on forking control
+parts.
+
+Firings that would put a second token into a place (safeness
+violations) are recorded in :attr:`ReachabilityGraph.unsafe_firings`
+instead of raising, so one construction yields both the state space and
+the safeness audit (lint rule ``NET007``).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+from ..errors import PetriNetError
+from ..petri.net import PetriNet
+
+#: Default bound on distinct markings before construction aborts.
+DEFAULT_MAX_MARKINGS = 100_000
+
+
+@dataclass(frozen=True)
+class UnsafeFiring:
+    """A reachable firing that would double-mark one or more places."""
+
+    marking: frozenset[str]
+    trans_id: str
+    places: tuple[str, ...]
+
+    def __str__(self) -> str:  # pragma: no cover - debug helper
+        return (f"{self.trans_id} in {sorted(self.marking)} double-marks "
+                f"{list(self.places)}")
+
+
+@dataclass(frozen=True)
+class GraphEdge:
+    """One firing: ``src`` marking --trans_id--> ``dst`` marking."""
+
+    src: frozenset[str]
+    trans_id: str
+    dst: frozenset[str]
+
+
+class ReachabilityGraph:
+    """The globally-deduplicated marking graph of a Petri net.
+
+    Attributes:
+        markings: distinct reachable markings in BFS order (the initial
+            marking first).
+        edges: every firing between reachable markings.
+        unsafe_firings: enabled firings skipped because they would
+            double-mark a place (the net is unsafe iff non-empty).
+    """
+
+    def __init__(self, net: PetriNet,
+                 max_markings: int = DEFAULT_MAX_MARKINGS) -> None:
+        self.net = net
+        self.markings: list[frozenset[str]] = []
+        self.edges: list[GraphEdge] = []
+        self.unsafe_firings: list[UnsafeFiring] = []
+        self._succ: dict[frozenset[str], list[GraphEdge]] = {}
+        self._build(max_markings)
+
+    def _build(self, max_markings: int) -> None:
+        net = self.net
+        seen: set[frozenset[str]] = {net.initial_marking}
+        queue: deque[frozenset[str]] = deque([net.initial_marking])
+        while queue:
+            marking = queue.popleft()
+            self.markings.append(marking)
+            self._succ[marking] = []
+            if net.is_final(marking):
+                continue  # the computation has terminated; do not expand
+            for transition in net.enabled(marking):
+                if not transition.inputs:
+                    continue  # sourceless transitions are NET006 errors
+                clash = set(transition.outputs) & (marking
+                                                   - set(transition.inputs))
+                if clash:
+                    self.unsafe_firings.append(UnsafeFiring(
+                        marking, transition.trans_id, tuple(sorted(clash))))
+                    continue
+                after = net.fire(marking, transition)
+                edge = GraphEdge(marking, transition.trans_id, after)
+                self.edges.append(edge)
+                self._succ[marking].append(edge)
+                if after not in seen:
+                    if len(seen) >= max_markings:
+                        raise PetriNetError(
+                            f"{net.name}: reachability graph exceeds "
+                            f"{max_markings} markings")
+                    seen.add(after)
+                    queue.append(after)
+
+    # ------------------------------------------------------------------
+    def successors(self, marking: frozenset[str]) -> list[GraphEdge]:
+        """Firings leaving ``marking`` (empty for unknown markings)."""
+        return list(self._succ.get(marking, []))
+
+    def contains(self, marking: frozenset[str]) -> bool:
+        """True when ``marking`` is reachable."""
+        return marking in self._succ
+
+    def is_safe(self) -> bool:
+        """True when no reachable firing would double-mark a place."""
+        return not self.unsafe_firings
+
+    def __len__(self) -> int:
+        return len(self.markings)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return (f"ReachabilityGraph({self.net.name!r}, "
+                f"{len(self.markings)} markings, {len(self.edges)} edges)")

@@ -1,0 +1,124 @@
+"""One-call whole-design verification: races + equivalence certificate.
+
+:func:`analyze_design` runs the ``analysis`` lint layer over a design
+point and packages the underlying analysis objects into an
+:class:`AnalysisResult`; :func:`merger_preserves_semantics` is the
+narrow boolean the synthesis kernel consults when
+``SynthesisParams(verify_mergers=True)`` is set.
+
+Lint is imported inside the functions: the analysis core must stay
+importable from the lint rule module without a cycle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional
+
+from ..errors import ReproError
+from .equivalence import EquivalenceCertificate
+from .races import ConcurrencyAnalysis
+from .reach_graph import DEFAULT_MAX_MARKINGS
+
+if TYPE_CHECKING:  # pragma: no cover - type-only import, avoids a cycle
+    from ..lint.diagnostic import Diagnostic, LintReport
+
+
+@dataclass
+class AnalysisResult:
+    """The outcome of analysing one design point.
+
+    Attributes:
+        name: design name.
+        report: the ``analysis``-layer lint report (RAC/EQV findings).
+        concurrency: the underlying MHP/race analysis, or None when the
+            control net could not be explored.
+        certificate: the symbolic equivalence certificate, or None when
+            the design is not certifiable (incomplete schedule/binding).
+    """
+
+    name: str
+    report: "LintReport"
+    concurrency: Optional[ConcurrencyAnalysis] = None
+    certificate: Optional[EquivalenceCertificate] = None
+
+    @property
+    def markings(self) -> int:
+        """Distinct reachable markings of the control part (0 if unknown)."""
+        if self.concurrency is None:
+            return 0
+        return len(self.concurrency.mhp.graph)
+
+    @property
+    def races(self) -> list["Diagnostic"]:
+        """The RAC diagnostics of the report."""
+        return [d for d in self.report if d.code.startswith("RAC")]
+
+    @property
+    def divergences(self) -> list["Diagnostic"]:
+        """The EQV diagnostics of the report."""
+        return [d for d in self.report if d.code.startswith("EQV")]
+
+    @property
+    def ok(self) -> bool:
+        """True when the analysis produced no error-severity finding."""
+        return self.report.ok()
+
+    @property
+    def verified(self) -> bool:
+        """Strongest verdict: race-free *and* a valid certificate exists."""
+        return (self.ok and self.certificate is not None
+                and self.certificate.valid)
+
+    def summary(self) -> str:
+        """One line, e.g. ``"ex: 7 markings, 0 races, certificate valid"``."""
+        races = len(self.races)
+        if self.certificate is None:
+            cert = "no certificate"
+        elif self.certificate.valid:
+            cert = "certificate valid"
+        else:
+            cert = f"{len(self.certificate.divergences)} divergences"
+        return (f"{self.name}: {self.markings} markings, {races} race"
+                f"{'s' if races != 1 else ''}, {cert}")
+
+
+def analyze_design(design,
+                   max_markings: int = DEFAULT_MAX_MARKINGS
+                   ) -> AnalysisResult:
+    """Run the full concurrency + equivalence analysis on a design.
+
+    Args:
+        design: a :class:`repro.etpn.design.Design` point.
+        max_markings: bound on reachability-graph construction.
+
+    The analysis itself never raises on a bad design — every problem
+    becomes a diagnostic in ``result.report`` (derivation failures are
+    ``LNT001``).
+    """
+    from ..lint.registry import LintContext
+    from ..lint.runner import run_analysis_layer
+    from ..lint.rules_analysis import cached_concurrency, cached_certificate
+
+    ctx = LintContext(name=design.dfg.name, dfg=design.dfg,
+                      steps=design.steps, binding=design.binding,
+                      net=design.control_net)
+    ctx.cache["analysis.max_markings"] = max_markings
+    report = run_analysis_layer(ctx)
+    return AnalysisResult(name=design.dfg.name, report=report,
+                          concurrency=cached_concurrency(ctx),
+                          certificate=cached_certificate(ctx))
+
+
+def merger_preserves_semantics(design, max_markings: int = 20_000) -> bool:
+    """May the synthesis kernel accept this merged design point?
+
+    True when the design point is race-free under MHP analysis and its
+    symbolic equivalence certificate is valid.  Conservative: any
+    analysis failure (unexplorable net, uncertifiable design) rejects
+    the merger rather than accepting it unverified.
+    """
+    try:
+        return analyze_design(design, max_markings=max_markings).verified
+    except ReproError:
+        return False

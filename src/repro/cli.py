@@ -9,6 +9,8 @@ Examples::
     repro-hlts bench ex --flow ours --bits 8
     repro-hlts lint                   # design-rule check every benchmark
     repro-hlts lint diffeq my.hdl --strict --format json
+    repro-hlts analyze                # MHP races + equivalence certificates
+    repro-hlts analyze ewf --flow default --format json
 """
 
 from __future__ import annotations
@@ -121,6 +123,66 @@ def _lint_command(args) -> int:
     return 0 if all_ok else 1
 
 
+def _analyze_command(args) -> int:
+    """The ``analyze`` subcommand: MHP races + equivalence certificates."""
+    from .analysis import analyze_design
+    from .analysis.reach_graph import DEFAULT_MAX_MARKINGS
+    from .errors import ReproError
+    from .etpn.from_dfg import default_design
+
+    max_markings = args.max_markings or DEFAULT_MAX_MARKINGS
+    targets = args.targets or list(names())
+    results = []
+    all_ok = True
+    for target in targets:
+        try:
+            dfg = _lint_resolve(target)
+        except KeyError:
+            print(f"error: {target!r} is neither a registered benchmark "
+                  f"({', '.join(names())}) nor an HDL file", file=sys.stderr)
+            return 2
+        except ReproError as exc:
+            print(f"error: {target}: cannot compile: {exc}", file=sys.stderr)
+            return 2
+        print(f"analyzing {target}/{args.flow}/{args.bits}-bit ...",
+              file=sys.stderr)
+        if args.flow == "default":
+            design = default_design(dfg)
+        else:
+            design = run_ours(dfg,
+                              cost_model=CostModel(bits=args.bits)).design
+        result = analyze_design(design, max_markings=max_markings)
+        ok = result.report.ok(strict=args.strict) and result.verified
+        all_ok = all_ok and ok
+        results.append((target, result, ok))
+
+    if args.fmt == "json":
+        import json
+        print(json.dumps({
+            "targets": [
+                {"name": t, "ok": ok, "verified": r.verified,
+                 "markings": r.markings,
+                 "races": len(r.races),
+                 "certificate": (r.certificate.to_dict()
+                                 if r.certificate else None),
+                 **r.report.to_dict()}
+                for t, r, ok in results],
+            "flow": args.flow,
+            "strict": args.strict,
+            "ok": all_ok,
+        }, indent=2))
+    else:
+        for target, result, ok in results:
+            status = "ok" if ok else "FAIL"
+            print(f"== {result.summary()} [{status}]")
+            for diag in result.report.sorted():
+                print(f"   {diag.format()}")
+            if result.certificate is not None and args.verbose:
+                for line in result.certificate.summary().splitlines():
+                    print(f"   {line}")
+    return 0 if all_ok else 1
+
+
 def main(argv: list[str] | None = None) -> int:
     """Entry point of the ``repro-hlts`` command."""
     parser = argparse.ArgumentParser(
@@ -182,6 +244,26 @@ def main(argv: list[str] | None = None) -> int:
                    help="sequential C/O depth threshold for TST002")
     p.add_argument("--list-rules", action="store_true",
                    help="print the rule table and exit")
+
+    p = sub.add_parser(
+        "analyze",
+        help="concurrency analysis: MHP races + equivalence certificates")
+    p.add_argument("targets", nargs="*", metavar="TARGET",
+                   help="benchmark names or HDL source files "
+                        "(default: every registered benchmark)")
+    p.add_argument("--flow", choices=["ours", "default"], default="ours",
+                   help="analyse the synthesised design (ours) or the "
+                        "unmerged default allocation (default: ours)")
+    p.add_argument("--bits", type=int, default=8,
+                   help="data-path width for the synthesis cost model")
+    p.add_argument("--format", choices=["text", "json"], default="text",
+                   dest="fmt", help="output format (default: text)")
+    p.add_argument("--strict", action="store_true",
+                   help="treat warnings as failures for the exit status")
+    p.add_argument("--max-markings", type=int, default=None,
+                   help="bound on the reachability-graph exploration")
+    p.add_argument("-v", "--verbose", action="store_true",
+                   help="also print the per-output certificate expressions")
 
     args = parser.parse_args(argv)
 
@@ -249,6 +331,8 @@ def main(argv: list[str] | None = None) -> int:
         return 0
     if args.command == "lint":
         return _lint_command(args)
+    if args.command == "analyze":
+        return _analyze_command(args)
     parser.error(f"unknown command {args.command!r}")
     return 2
 

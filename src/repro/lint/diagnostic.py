@@ -79,18 +79,30 @@ class Diagnostic:
 
 @dataclass
 class LintReport:
-    """An ordered collection of diagnostics from one lint run."""
+    """A deduplicated, deterministically-ordered collection of findings.
+
+    Identical diagnostics (all fields equal) are recorded once, no
+    matter how many runs fold into the report, and :meth:`sorted` uses a
+    total key — so rendering a report (text or JSON) is byte-stable.
+    """
 
     diagnostics: list[Diagnostic] = field(default_factory=list)
 
+    def __post_init__(self) -> None:
+        self._seen: set[Diagnostic] = set(self.diagnostics)
+
     # ------------------------------------------------------------------
     def add(self, diagnostic: Diagnostic) -> None:
-        """Append one finding."""
+        """Record one finding (exact duplicates are dropped)."""
+        if diagnostic in self._seen:
+            return
+        self._seen.add(diagnostic)
         self.diagnostics.append(diagnostic)
 
     def extend(self, other: "LintReport") -> "LintReport":
         """Fold another report's findings into this one."""
-        self.diagnostics.extend(other.diagnostics)
+        for diagnostic in other.diagnostics:
+            self.add(diagnostic)
         return self
 
     # ------------------------------------------------------------------
@@ -130,9 +142,14 @@ class LintReport:
         return grouping
 
     def sorted(self) -> list[Diagnostic]:
-        """Findings ordered by severity, then code, then location."""
+        """Findings under a total order: severity, layer, code, location.
+
+        Message and hint break any remaining ties, so two runs over the
+        same design always render in exactly the same order.
+        """
         return sorted(self.diagnostics,
-                      key=lambda d: (d.severity.rank, d.code, d.location))
+                      key=lambda d: (d.severity.rank, d.layer, d.code,
+                                     d.location, d.message, d.hint))
 
     # ------------------------------------------------------------------
     def summary(self) -> str:

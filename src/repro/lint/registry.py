@@ -21,7 +21,8 @@ from typing import Any, Callable, Optional
 from .diagnostic import Diagnostic, LintReport, Severity
 
 #: The checkable layers, in pipeline order.
-LAYERS = ("dfg", "sched", "binding", "petri", "gates", "testability")
+LAYERS = ("dfg", "sched", "binding", "petri", "analysis", "gates",
+          "testability")
 
 
 @dataclass
@@ -30,13 +31,17 @@ class LintContext:
 
     Attributes:
         name: name of the design under inspection (used in messages).
-        dfg: the data-flow graph (dfg/sched/binding layers).
+        dfg: the data-flow graph (dfg/sched/binding/analysis layers).
         steps: the schedule, op_id -> control step (sched/binding).
-        binding: the allocation (binding layer).
-        net: the control Petri net (petri layer).
+        binding: the allocation (binding/analysis layers).
+        net: the control Petri net (petri/analysis layers).
         netlist: the gate-level netlist (gates layer).
         datapath: the structural data path (testability layer).
         depth_limit: sequential C/O depth above which TST002 fires.
+        placement: op_id -> control place, for analysis rules checking a
+            hand-built control part; derived from ``steps`` when None.
+        cache: scratch space shared by the rules of one run, used to
+            memoise expensive whole-design analyses.
     """
 
     name: str = ""
@@ -47,6 +52,8 @@ class LintContext:
     netlist: Any = None
     datapath: Any = None
     depth_limit: float = 8.0
+    placement: Optional[dict[str, str]] = None
+    cache: dict[str, Any] = field(default_factory=dict)
 
 
 #: Signature of a rule body: inspect ``ctx``, report through ``emit``.
@@ -152,6 +159,7 @@ def _load_builtin_rules() -> None:
     if _LOADED:
         return
     _LOADED = True
+    from . import rules_analysis  # noqa: F401
     from . import rules_binding  # noqa: F401
     from . import rules_dfg  # noqa: F401
     from . import rules_gates  # noqa: F401

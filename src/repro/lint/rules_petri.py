@@ -1,4 +1,4 @@
-"""Petri-net-layer design rules (codes ``NET001``-``NET006``).
+"""Petri-net-layer design rules (codes ``NET001``-``NET007``).
 
 Reachability here is *structural*: starting from the initial marking, a
 transition is considered fireable once all of its input places have
@@ -102,3 +102,32 @@ def check_transition_inputs(ctx: LintContext, emit: Emit) -> None:
         if not ctx.net.transitions[trans_id].inputs:
             emit(f"{ctx.net.name}: transition {trans_id!r} has no input "
                  f"places", location=trans_id)
+
+
+#: Reachability bound for the NET007 safeness audit: control nets this
+#: library builds stay far below it, and genuinely huge nets should not
+#: stall an interactive lint run.
+SAFENESS_MAX_MARKINGS = 20_000
+
+
+@rule("NET007", layer="petri", severity=Severity.WARNING,
+      title="unsafe firing")
+def check_safe(ctx: LintContext, emit: Emit) -> None:
+    """ETPN control parts must be *safe*: no reachable firing may put a
+    second token into a place.  A warning (not an error) because the
+    raise-style validators run this lint layer — an error would make an
+    unsafe net unconstructible and hence unreportable."""
+    from ..analysis.reach_graph import ReachabilityGraph
+    from ..errors import PetriNetError
+    net = ctx.net
+    if not net.initial_marking:
+        return  # NET002 already fired
+    try:
+        graph = ReachabilityGraph(net, max_markings=SAFENESS_MAX_MARKINGS)
+    except PetriNetError:
+        return  # state space too large to audit; not a finding
+    for firing in graph.unsafe_firings:
+        emit(f"{net.name}: firing {firing.trans_id!r} in marking "
+             f"{sorted(firing.marking)} would double-mark "
+             f"{list(firing.places)}", location=firing.trans_id,
+             hint="the net is not safe; serialise the conflicting branches")

@@ -26,10 +26,10 @@ from .registry import LintContext, run_layer
 PIPELINE_FAILURE_CODE = "LNT001"
 
 
-def _pipeline_failure(name: str, stage: str, exc: Exception) -> Diagnostic:
+def _pipeline_failure(name: str, stage: str, reason: object) -> Diagnostic:
     return Diagnostic(code=PIPELINE_FAILURE_CODE, severity=Severity.ERROR,
                       layer="pipeline", location=stage,
-                      message=f"{name}: cannot build the {stage}: {exc}",
+                      message=f"{name}: cannot build the {stage}: {reason}",
                       hint="fix the upstream errors first")
 
 
@@ -71,15 +71,54 @@ def lint_datapath(datapath, depth_limit: float = 8.0) -> LintReport:
                                  depth_limit=depth_limit))
 
 
+def lint_analysis(dfg, steps: dict[str, int], binding, net=None,
+                  placement=None, max_markings=None) -> LintReport:
+    """Run the analysis-layer rules (RAC/EQV) over one design point.
+
+    Args:
+        dfg: the data-flow graph.
+        steps: the schedule, op_id -> control step.
+        binding: the module/register allocation.
+        net: the control Petri net; derived from the schedule when None.
+        placement: op_id -> control place for hand-built nets; derived
+            from ``steps`` (``S<step>``) when None.
+        max_markings: bound on the reachability exploration.
+
+    When an analysis cannot even be constructed (incomplete schedule,
+    unexplorable net) the skip is reported as ``LNT001``.
+    """
+    ctx = LintContext(name=dfg.name, dfg=dfg, steps=steps, binding=binding,
+                      net=net, placement=placement)
+    if max_markings is not None:
+        ctx.cache["analysis.max_markings"] = max_markings
+    return run_analysis_layer(ctx)
+
+
+def run_analysis_layer(ctx: LintContext) -> LintReport:
+    """Run the analysis layer on a prepared context, reporting skips.
+
+    Shared with :func:`repro.analysis.verify.analyze_design`, which
+    inspects the same context afterwards to recover the memoised
+    analysis objects.
+    """
+    report = run_layer("analysis", ctx)
+    for stage, key in (("concurrency analysis", "analysis.concurrency"),
+                       ("equivalence certificate", "analysis.certificate")):
+        reason = ctx.cache.get(f"{key}_error")
+        if ctx.cache.get(key) is None and reason:
+            report.add(_pipeline_failure(ctx.name, stage, reason))
+    return report
+
+
 # ----------------------------------------------------------------------
 # Aggregate checkers
 # ----------------------------------------------------------------------
 def lint_design(design, depth_limit: float = 8.0) -> LintReport:
     """Audit one ETPN design point across every derivable layer.
 
-    Checks the schedule, the binding, the control Petri net and the
-    testability smells of the data path.  Derivation failures become
-    ``LNT001`` diagnostics.
+    Checks the schedule, the binding, the control Petri net, the
+    MHP/equivalence analyses and the testability smells of the data
+    path.  Derivation failures become ``LNT001`` diagnostics.
     """
     dfg = design.dfg
     report = lint_schedule(dfg, design.steps)
@@ -88,6 +127,11 @@ def lint_design(design, depth_limit: float = 8.0) -> LintReport:
         report.extend(lint_petri(design.control_net))
     except Exception as exc:
         report.add(_pipeline_failure(dfg.name, "control net", exc))
+    try:
+        report.extend(lint_analysis(dfg, design.steps, design.binding,
+                                    net=design.control_net))
+    except Exception as exc:
+        report.add(_pipeline_failure(dfg.name, "concurrency analysis", exc))
     try:
         report.extend(lint_datapath(design.datapath, depth_limit))
     except Exception as exc:

@@ -45,6 +45,11 @@ class ReachabilityTree:
         net.validate()
         self.net = net
         self.nodes: list[TreeNode] = []
+        #: Reachable firings that would put a token into an already
+        #: marked place, as ``(marking, trans_id, place)`` triples.  Such
+        #: firings are recorded and skipped, not taken, so the tree
+        #: itself stays a safe-net tree.
+        self.unsafe_firings: list[tuple[frozenset[str], str, str]] = []
         self._build(max_nodes)
 
     def _build(self, max_nodes: int) -> None:
@@ -61,6 +66,13 @@ class ReachabilityTree:
             if node.duplicate or self.net.is_final(node.marking):
                 continue
             for transition in self.net.enabled(node.marking):
+                clash = (set(transition.outputs)
+                         & (node.marking - set(transition.inputs)))
+                if clash:
+                    for place in sorted(clash):
+                        self.unsafe_firings.append(
+                            (node.marking, transition.trans_id, place))
+                    continue
                 after = self.net.fire(node.marking, transition)
                 entered = after - node.marking
                 step = sum(self.net.places[p].delay for p in entered)
@@ -105,5 +117,11 @@ class ReachabilityTree:
         return path
 
     def is_safe(self) -> bool:
-        """True — safeness is enforced during firing; kept for symmetry."""
-        return True
+        """True when no reachable firing would double-mark a place.
+
+        The construction records such firings in
+        :attr:`unsafe_firings` (and does not take them), so an unsafe
+        net still yields a tree — of the safe portion of its state
+        space — plus the evidence, which lint rule ``NET007`` reports.
+        """
+        return not self.unsafe_firings

@@ -44,6 +44,13 @@ class SynthesisParams:
             abort with :class:`SynthesisError` the moment a
             transformation produces an illegal design.  Slow; meant for
             debugging new transformations, not production runs.
+        verify_mergers: statically verify every candidate merger with
+            :func:`repro.analysis.verify.merger_preserves_semantics`
+            (MHP race analysis + symbolic equivalence certificate) and
+            reject candidates that fail; the loop then only ever commits
+            provably semantics-preserving design points.  Slower than
+            ``debug_lint`` but catches control-level races and
+            value-flow corruption the structural lint rules cannot see.
     """
 
     k: int = 3
@@ -53,6 +60,7 @@ class SynthesisParams:
     max_execution_time: int | None = None
     max_iterations: int = 10_000
     debug_lint: bool = False
+    verify_mergers: bool = False
     #: Candidate ranking: "balance" (the paper, §3) or "connectivity"
     #: (the conventional strawman — used by the A1 ablation bench).
     selection: str = "balance"
@@ -117,9 +125,22 @@ def _debug_lint(design: Design, iteration: int, outcome: MergeOutcome) -> None:
 
 def _admissible(params: SynthesisParams, base: Design,
                 outcome: MergeOutcome) -> bool:
-    if params.max_execution_time is None:
-        return True
-    return outcome.design.execution_time <= params.max_execution_time
+    if (params.max_execution_time is not None
+            and outcome.design.execution_time > params.max_execution_time):
+        return False
+    if params.verify_mergers and not _merger_verified(outcome):
+        return False
+    return True
+
+
+def _merger_verified(outcome: MergeOutcome) -> bool:
+    """Is the merged design point provably semantics-preserving?
+
+    Imported lazily: the analysis package is an optional heavyweight
+    dependency of the inner loop, paid only under ``verify_mergers``.
+    """
+    from ..analysis import merger_preserves_semantics
+    return merger_preserves_semantics(outcome.design)
 
 
 def _best_merger(design: Design, params: SynthesisParams,

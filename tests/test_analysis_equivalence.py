@@ -1,0 +1,110 @@
+"""Unit tests for the symbolic value-flow certifier."""
+
+import pytest
+
+from repro.alloc import default_binding
+from repro.analysis import ValueNumbering, certify
+from repro.bench import load, names
+from repro.dfg.ops import OpKind
+from repro.errors import ScheduleError
+from repro.etpn.from_dfg import default_design
+
+
+def cert_of(design):
+    return certify(design.dfg, design.steps, design.binding)
+
+
+def codes_of(cert):
+    return sorted({d.code for d in cert.divergences})
+
+
+class TestValueNumbering:
+    def test_commutative_canonicalisation(self):
+        vn = ValueNumbering()
+        a, b = vn.input("a"), vn.input("b")
+        assert vn.apply(OpKind.ADD, (a, b)) == vn.apply(OpKind.ADD, (b, a))
+        assert vn.apply(OpKind.MUL, (a, b)) == vn.apply(OpKind.MUL, (b, a))
+        assert vn.apply(OpKind.SUB, (a, b)) != vn.apply(OpKind.SUB, (b, a))
+
+    def test_move_is_transparent(self):
+        vn = ValueNumbering()
+        a = vn.input("a")
+        assert vn.apply(OpKind.MOVE, (a,)) == a
+
+    def test_hash_consing_and_render(self):
+        vn = ValueNumbering()
+        x = vn.apply(OpKind.ADD, (vn.input("a"), vn.const(3)))
+        y = vn.apply(OpKind.ADD, (vn.const(3), vn.input("a")))
+        assert x == y
+        assert vn.render(x) == "(a + 3)"
+
+
+class TestValidCertificates:
+    def test_default_designs_certify(self, chain_dfg, diamond_dfg,
+                                     multidef_dfg, loop_dfg):
+        for dfg in (chain_dfg, diamond_dfg, multidef_dfg, loop_dfg):
+            cert = cert_of(default_design(dfg))
+            assert cert.valid, cert.summary()
+
+    def test_all_benchmarks_certify(self):
+        for name in names():
+            cert = cert_of(default_design(load(name)))
+            assert cert.valid, f"{name}: {cert.summary()}"
+
+    def test_legal_register_sharing_certifies(self, chain_dfg):
+        """x, y, z have disjoint lifetimes; packing them into one
+        register is exactly the merger the paper performs — the
+        certificate must still hold."""
+        design = default_design(chain_dfg)
+        binding = (design.binding.merge_registers("R_x", "R_y")
+                   .merge_registers("R_x", "R_z"))
+        cert = certify(chain_dfg, design.steps, binding)
+        assert cert.valid, cert.summary()
+
+    def test_condition_certified(self, loop_dfg):
+        cert = cert_of(default_design(loop_dfg))
+        assert "c" in cert.conditions
+        ref, impl = cert.conditions["c"]
+        assert impl == ref
+
+
+class TestDivergences:
+    def test_double_booked_register(self, diamond_dfg):
+        """Both mult results forced into one register: the second write
+        clobbers the first at the same clock edge."""
+        design = default_design(diamond_dfg)
+        binding = design.binding.merge_registers("R_x", "R_y")
+        cert = certify(diamond_dfg, design.steps, binding)
+        assert not cert.valid
+        assert codes_of(cert) == ["EQV002", "EQV003", "EQV005"]
+        ref, impl = cert.outputs["z"]
+        assert impl != ref
+
+    def test_premature_read_schedule(self, chain_dfg):
+        """N2 scheduled alongside N1 reads R_x before the write lands."""
+        steps = {"N1": 0, "N2": 0, "N3": 1}
+        cert = certify(chain_dfg, steps, default_binding(chain_dfg))
+        assert "EQV003" in codes_of(cert)
+
+    def test_missing_output_register(self, chain_dfg):
+        design = default_design(chain_dfg)
+        binding = design.binding.copy()
+        del binding.register_of["z"]
+        cert = certify(chain_dfg, design.steps, binding)
+        assert "EQV001" in codes_of(cert)
+        ref, impl = cert.outputs["z"]
+        assert impl is None
+
+    def test_incomplete_schedule_rejected(self, chain_dfg):
+        with pytest.raises(ScheduleError):
+            certify(chain_dfg, {"N1": 0}, default_binding(chain_dfg))
+
+    def test_summary_and_to_dict(self, diamond_dfg):
+        design = default_design(diamond_dfg)
+        binding = design.binding.merge_registers("R_x", "R_y")
+        cert = certify(diamond_dfg, design.steps, binding)
+        assert "DIVERGES" in cert.summary()
+        payload = cert.to_dict()
+        assert payload["valid"] is False
+        assert payload["outputs"]["z"]["matches"] is False
+        assert payload["divergences"]

@@ -1,0 +1,117 @@
+"""Unit + property tests for the may-happen-in-parallel relation."""
+
+import time
+from itertools import combinations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import MHPAnalysis
+from repro.bench import load
+from repro.etpn.from_dfg import default_design
+from repro.petri import (FINAL_PLACE, Guard, PetriNet,
+                         control_net_from_schedule, step_place)
+
+from .test_analysis_reach_graph import fork_join_net
+
+
+def guarded_fork_net() -> PetriNet:
+    """A fork whose B branch re-runs under a guard.
+
+    S0 forks into chains A0-A1 and B0-B1; after B1 a guarded choice
+    either loops back to B0 or proceeds to the join.  The extra
+    interleavings make e.g. {A0, B1} and {A1, B0} co-marked — pairs a
+    linear control-step view cannot express.
+    """
+    net = PetriNet("guarded_fork")
+    for pid in ("S0", "A0", "A1", "B0", "B1", "B2", "J"):
+        net.add_place(pid, delay=1)
+    net.add_place(FINAL_PLACE, delay=0)
+    net.add_transition("fork", ["S0"], ["A0", "B0"])
+    net.add_transition("tA", ["A0"], ["A1"])
+    net.add_transition("tB", ["B0"], ["B1"])
+    net.add_transition("redo", ["B1"], ["B0"], guard=Guard("c"))
+    net.add_transition("done", ["B1"], ["B2"], guard=Guard("c", negated=True))
+    net.add_transition("join", ["A1", "B2"], ["J"])
+    net.add_transition("end", ["J"], [FINAL_PLACE])
+    net.set_initial("S0")
+    net.set_final(FINAL_PLACE)
+    return net
+
+
+class TestMHPOnBranchFreeNets:
+    @settings(max_examples=40, deadline=None)
+    @given(num_steps=st.integers(min_value=1, max_value=8),
+           data=st.data())
+    def test_linear_mhp_equals_same_step(self, num_steps, data):
+        """On a branch-free control net, op-level MHP degenerates to
+        exactly the same-control-step pairs of the linear schedule."""
+        net = control_net_from_schedule("lin", num_steps)
+        num_ops = data.draw(st.integers(min_value=1, max_value=10))
+        steps = {f"N{i}": data.draw(st.integers(min_value=0,
+                                                max_value=num_steps - 1),
+                                    label=f"step of N{i}")
+                 for i in range(num_ops)}
+        placement = {op: step_place(step) for op, step in steps.items()}
+        mhp = MHPAnalysis(net)
+        expected = {frozenset((a, b))
+                    for a, b in combinations(sorted(steps), 2)
+                    if steps[a] == steps[b]}
+        assert mhp.op_pairs(placement) == expected
+
+    def test_linear_places_never_co_marked(self):
+        mhp = MHPAnalysis(control_net_from_schedule("lin", 5))
+        for i, j in combinations(range(5), 2):
+            assert not mhp.places_parallel(step_place(i), step_place(j))
+        assert mhp.places_parallel(step_place(3), step_place(3))
+
+
+class TestMHPOnForkingNets:
+    def test_cross_branch_places_parallel(self):
+        mhp = MHPAnalysis(fork_join_net(2))
+        assert mhp.places_parallel("A0", "B0")
+        assert mhp.places_parallel("A0", "B1")
+        assert mhp.places_parallel("A1", "B0")
+        assert not mhp.places_parallel("S0", "A0")
+        assert not mhp.places_parallel("A0", "A1")
+
+    def test_schedule_view_misses_the_guarded_race(self):
+        """With a guard re-running branch B, ops in *different* nominal
+        steps (A0 at depth 1, B1 at depth 2) may still run in parallel —
+        the linear same-step view would never pair them."""
+        mhp = MHPAnalysis(guarded_fork_net())
+        steps = {"opA": 1, "opB": 2}  # schedule view: never the same step
+        placement = {"opA": "A0", "opB": "B1"}
+        same_step = {frozenset((a, b))
+                     for a, b in combinations(sorted(steps), 2)
+                     if steps[a] == steps[b]}
+        assert same_step == set()
+        assert mhp.op_pairs(placement) == {frozenset(("opA", "opB"))}
+        # The guard also makes the loop-back visible: B0 after the redo
+        # co-exists with A1, which a single pass would not produce.
+        assert mhp.places_parallel("A1", "B0")
+
+    def test_concurrent_vs_conflict_transitions(self):
+        mhp = MHPAnalysis(guarded_fork_net())
+        # tA and tB fire from disjoint inputs: true concurrency.
+        assert mhp.transitions_parallel("tA", "tB")
+        # redo and done compete for the token in B1: a choice.
+        assert frozenset(("redo", "done")) in mhp.conflict_pairs()
+        assert not mhp.transitions_parallel("redo", "done")
+        assert not mhp.transitions_parallel("tA", "tA")
+
+    def test_op_pairs_ignores_unknown_places(self):
+        mhp = MHPAnalysis(fork_join_net(1))
+        placement = {"x": "A0", "y": "NOWHERE"}
+        assert mhp.op_pairs(placement) == set()
+
+
+class TestMHPScale:
+    def test_ewf_mhp_under_five_seconds(self):
+        """Acceptance bound: MHP on the largest benchmark is fast."""
+        design = default_design(load("ewf"))
+        start = time.perf_counter()
+        mhp = MHPAnalysis(design.control_net)
+        elapsed = time.perf_counter() - start
+        assert elapsed < 5.0
+        assert len(mhp.graph) >= design.execution_time

@@ -1,0 +1,126 @@
+"""Unit tests for the MHP-based race detector and its lint rules."""
+
+from repro.alloc import default_binding
+from repro.analysis import ConcurrencyAnalysis
+from repro.dfg import DFGBuilder
+from repro.etpn.from_dfg import default_design
+from repro.lint import lint_analysis
+
+from .test_analysis_reach_graph import fork_join_net
+
+
+def forked_dfg():
+    """Two independent adds feeding a third — placeable on a fork."""
+    b = DFGBuilder("forked")
+    b.inputs("a", "b", "c", "d")
+    b.op("N1", "+", "x", "a", "b")
+    b.op("N2", "+", "y", "c", "d")
+    b.op("N3", "+", "z", "x", "y")
+    b.outputs("z")
+    return b.build()
+
+
+def forked_setup():
+    """The forked DFG placed on a fork-join control part.
+
+    N1 runs on branch A, N2 on branch B (concurrently), N3 after the
+    join.  The nominal schedule puts N1 and N2 in different steps, so
+    the schedule-level BND rules see no sharing conflict at all.
+    """
+    dfg = forked_dfg()
+    net = fork_join_net(2)
+    placement = {"N1": "A0", "N2": "B1", "N3": "J"}
+    steps = {"N1": 1, "N2": 2, "N3": 3}
+    return dfg, steps, net, placement
+
+
+def analysis_with(binding):
+    dfg, steps, net, placement = forked_setup()
+    return ConcurrencyAnalysis(dfg, steps, binding, net=net,
+                               placement=placement)
+
+
+class TestConcurrentPairs:
+    def test_cross_branch_ops_concurrent(self):
+        analysis = analysis_with(default_binding(forked_dfg()))
+        assert analysis.concurrent("N1", "N2")
+        assert not analysis.concurrent("N1", "N3")
+        assert not analysis.concurrent("N1", "N1")
+        assert analysis.concurrent_op_pairs() == {frozenset(("N1", "N2"))}
+
+    def test_linear_designs_have_no_cross_step_concurrency(self, chain_dfg,
+                                                           diamond_dfg):
+        for dfg in (chain_dfg, diamond_dfg):
+            design = default_design(dfg)
+            analysis = ConcurrencyAnalysis.of_design(design)
+            assert analysis.concurrent_op_pairs() == set()
+            assert analysis.races() == []
+
+
+class TestRaceFindings:
+    def test_clean_forked_binding_has_no_races(self):
+        analysis = analysis_with(default_binding(forked_dfg()))
+        assert analysis.races() == []
+
+    def test_rac001_double_booked_module(self):
+        binding = default_binding(forked_dfg()).merge_modules("M_N1", "M_N2")
+        findings = analysis_with(binding).races()
+        [sharing] = [f for f in findings if f.code == "RAC001"]
+        assert sharing.location == "M_N1"
+        assert "N1" in sharing.message and "N2" in sharing.message
+
+    def test_rac002_write_write_race(self):
+        binding = default_binding(forked_dfg()).merge_registers("R_x", "R_y")
+        codes = [f.code for f in analysis_with(binding).races()]
+        assert "RAC002" in codes
+
+    def test_rac003_read_write_race(self):
+        """N2 on branch B reads 'a' while a rebound write to R_a races it.
+
+        Rebind N1's result x into register R_a: N1 (branch A) then
+        overwrites R_a while N2 (branch B) still reads 'a' from it.
+        """
+        dfg, steps, net, placement = forked_setup()
+        b = DFGBuilder("reader")
+        b.inputs("a", "b", "c")
+        b.op("N1", "+", "x", "a", "b")
+        b.op("N2", "+", "y", "a", "c")
+        b.op("N3", "+", "z", "x", "y")
+        b.outputs("z")
+        dfg = b.build()
+        binding = default_binding(dfg).merge_registers("R_a", "R_x")
+        analysis = ConcurrencyAnalysis(dfg, steps, binding, net=net,
+                                       placement=placement)
+        codes = [f.code for f in analysis.races()]
+        assert "RAC003" in codes
+
+    def test_rac004_mux_contention(self):
+        """One shared module fed from different registers on both
+        branches contends at its input multiplexer."""
+        binding = default_binding(forked_dfg()).merge_modules("M_N1", "M_N2")
+        findings = analysis_with(binding).races()
+        muxes = [f for f in findings if f.code == "RAC004"]
+        # one finding per contended port: both operand muxes conflict
+        assert [m.location for m in muxes] == ["M_N1.in0", "M_N1.in1"]
+
+
+class TestLintAnalysisLayer:
+    def test_rules_fire_through_the_registry(self):
+        dfg, steps, net, placement = forked_setup()
+        binding = default_binding(dfg).merge_modules("M_N1", "M_N2")
+        report = lint_analysis(dfg, steps, binding, net=net,
+                               placement=placement)
+        assert "RAC001" in report.codes()
+        assert all(d.layer == "analysis" for d in report
+                   if d.code.startswith("RAC"))
+
+    def test_clean_design_is_quiet(self, chain_dfg):
+        design = default_design(chain_dfg)
+        report = lint_analysis(chain_dfg, design.steps, design.binding)
+        assert len(report) == 0
+
+    def test_unanalysable_context_reports_lnt001(self, chain_dfg):
+        # An incomplete schedule cannot be certified or net-built.
+        report = lint_analysis(chain_dfg, {"N1": 0},
+                               default_binding(chain_dfg))
+        assert "LNT001" in report.codes()

@@ -426,3 +426,59 @@ class TestDiagnosticFormatting:
 def test_benchmark_pipeline_has_no_errors(name):
     report = lint_pipeline(load(name), bits=4)
     assert not report.has_errors, report.format_text()
+
+
+class TestReportDeterminism:
+    def _diag(self, code="DFG001", location="N1", message="boom"):
+        return Diagnostic(code=code, severity=Severity.ERROR, layer="dfg",
+                          location=location, message=message)
+
+    def test_exact_duplicates_collapse(self):
+        report = LintReport()
+        report.add(self._diag())
+        report.add(self._diag())
+        assert len(report) == 1
+        # A differing field keeps the finding distinct.
+        report.add(self._diag(location="N2"))
+        assert len(report) == 2
+
+    def test_extend_deduplicates(self):
+        left, right = LintReport(), LintReport()
+        left.add(self._diag())
+        right.add(self._diag())
+        right.add(self._diag(message="other"))
+        left.extend(right)
+        assert len(left) == 2
+
+    def test_sorted_is_a_total_order(self):
+        a = self._diag(location="N1", message="alpha")
+        b = self._diag(location="N1", message="beta")
+        forward, backward = LintReport(), LintReport()
+        forward.add(a)
+        forward.add(b)
+        backward.add(b)
+        backward.add(a)
+        assert forward.sorted() == backward.sorted()
+        assert forward.format_text() == backward.format_text()
+
+    def test_repeated_runs_render_identically(self, diamond_dfg):
+        first = lint_pipeline(diamond_dfg, gates=False).format_text()
+        second = lint_pipeline(diamond_dfg, gates=False).format_text()
+        assert first == second
+
+
+class TestAnalysisLayerIntegration:
+    def test_lint_design_includes_analysis_layer(self, diamond_dfg):
+        design = default_design(diamond_dfg)
+        broken = design.replaced(
+            binding=design.binding.merge_registers("R_x", "R_y"))
+        report = lint_design(broken)
+        assert "EQV005" in codes(report)
+        # The same double-booking also violates the lifetime rule, and
+        # both families report it — from their own layers.
+        layers = {d.layer for d in report if d.code.startswith("EQV")}
+        assert layers == {"analysis"}
+
+    def test_clean_design_still_clean(self, chain_dfg):
+        report = lint_design(default_design(chain_dfg))
+        assert not report.has_errors

@@ -91,3 +91,50 @@ class TestCriticalPath:
         assert "t_loop" in net.transitions
         assert net.transitions["t_loop"].guard == Guard("c")
         assert net.transitions["t_exit"].guard == Guard("c", negated=True)
+
+
+class TestSafeness:
+    def test_linear_net_is_safe(self):
+        net = control_net_from_schedule("lin", 4)
+        tree = ReachabilityTree(net)
+        assert tree.is_safe()
+        assert tree.unsafe_firings == []
+
+    def test_looping_net_is_safe(self):
+        net = control_net_from_schedule("loop", 3, loop_condition="c")
+        assert ReachabilityTree(net).is_safe()
+
+    def test_unsafe_firing_detected_and_skipped(self):
+        net = PetriNet("unsafe")
+        net.add_place("P0", delay=1)
+        net.add_place("A", delay=1)
+        net.add_place("B", delay=1)
+        net.add_place(FINAL_PLACE, delay=0)
+        net.add_transition("t", ["P0"], ["A"])
+        net.add_transition("u", ["A", "B"], [FINAL_PLACE])
+        net.set_initial("P0", "A")
+        net.set_final(FINAL_PLACE)
+        tree = ReachabilityTree(net)
+        assert not tree.is_safe()
+        assert (frozenset({"P0", "A"}), "t", "A") in tree.unsafe_firings
+        # The unsafe firing is recorded but not taken: with t skipped
+        # and u disabled, the tree is just its root.
+        assert len(tree.nodes) == 1
+
+    def test_unsafe_net_reported_by_net007(self):
+        from repro.lint import lint_petri
+        net = PetriNet("unsafe2")
+        net.add_place("P0", delay=1)
+        net.add_place("A", delay=1)
+        net.add_transition("t", ["P0"], ["A"])
+        net.set_initial("P0", "A")
+        report = lint_petri(net)
+        assert "NET007" in report.codes()
+        [finding] = [d for d in report if d.code == "NET007"]
+        assert finding.severity.value == "warning"
+        assert finding.location == "t"
+
+    def test_safe_control_nets_pass_net007(self):
+        from repro.lint import lint_petri
+        net = control_net_from_schedule("lin", 5)
+        assert "NET007" not in lint_petri(net).codes()

@@ -152,3 +152,42 @@ class TestBaselines:
         ours = run_ours(bigger_dfg).design
         assert (analyze(ours.datapath).design_quality()
                 >= analyze(camad.datapath).design_quality())
+
+
+class TestVerifyMergers:
+    def test_verified_run_matches_plain_run(self, bigger_dfg):
+        """Every merger Algorithm 1 takes on a linear design is
+        semantics-preserving, so verification must not change the
+        outcome — it only proves it."""
+        plain = synthesize(bigger_dfg)
+        checked = synthesize(bigger_dfg,
+                             SynthesisParams(verify_mergers=True))
+        assert ([(r.kind, r.kept, r.absorbed) for r in plain.history]
+                == [(r.kind, r.kept, r.absorbed) for r in checked.history])
+
+    def test_final_design_carries_a_valid_certificate(self, bigger_dfg):
+        from repro.analysis import analyze_design
+        result = synthesize(bigger_dfg,
+                            SynthesisParams(verify_mergers=True))
+        analysis = analyze_design(result.design)
+        assert analysis.verified, analysis.report.format_text()
+
+    def test_rejecting_verifier_blocks_every_merger(self, bigger_dfg,
+                                                    monkeypatch):
+        import repro.synth.algorithm as algorithm
+        monkeypatch.setattr(algorithm, "_merger_verified",
+                            lambda outcome: False)
+        blocked = synthesize(bigger_dfg,
+                             SynthesisParams(verify_mergers=True))
+        assert blocked.history == []
+        assert synthesize(bigger_dfg).history  # sanity: mergers do exist
+
+    def test_verifier_not_consulted_by_default(self, bigger_dfg,
+                                               monkeypatch):
+        import repro.synth.algorithm as algorithm
+
+        def explode(outcome):
+            raise AssertionError("verifier must not run by default")
+
+        monkeypatch.setattr(algorithm, "_merger_verified", explode)
+        assert synthesize(bigger_dfg).history
