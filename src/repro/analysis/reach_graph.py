@@ -24,6 +24,7 @@ from dataclasses import dataclass
 
 from ..errors import PetriNetError
 from ..petri.net import PetriNet
+from ..runtime.budget import Budget
 
 #: Default bound on distinct markings before construction aborts.
 DEFAULT_MAX_MARKINGS = 100_000
@@ -60,18 +61,26 @@ class ReachabilityGraph:
         edges: every firing between reachable markings.
         unsafe_firings: enabled firings skipped because they would
             double-mark a place (the net is unsafe iff non-empty).
+        truncated: True when an exhausted :class:`Budget` stopped the
+            BFS early; the graph is then a well-formed *prefix* of the
+            state space (every listed marking is reachable, frontier
+            markings keep empty successor lists).
     """
 
     def __init__(self, net: PetriNet,
-                 max_markings: int = DEFAULT_MAX_MARKINGS) -> None:
+                 max_markings: int = DEFAULT_MAX_MARKINGS,
+                 budget: Budget | None = None) -> None:
         self.net = net
         self.markings: list[frozenset[str]] = []
         self.edges: list[GraphEdge] = []
         self.unsafe_firings: list[UnsafeFiring] = []
+        self.truncated = False
+        self.truncation_reason = ""
         self._succ: dict[frozenset[str], list[GraphEdge]] = {}
-        self._build(max_markings)
+        self._build(max_markings, budget)
 
-    def _build(self, max_markings: int) -> None:
+    def _build(self, max_markings: int,
+               budget: Budget | None = None) -> None:
         net = self.net
         seen: set[frozenset[str]] = {net.initial_marking}
         queue: deque[frozenset[str]] = deque([net.initial_marking])
@@ -79,6 +88,16 @@ class ReachabilityGraph:
             marking = queue.popleft()
             self.markings.append(marking)
             self._succ[marking] = []
+            if budget is not None and not budget.charge():
+                # Budget drained: keep the already-discovered frontier
+                # visible (unexpanded, no successors) and stop cleanly.
+                self.truncated = True
+                self.truncation_reason = "budget_exhausted"
+                while queue:
+                    frontier = queue.popleft()
+                    self.markings.append(frontier)
+                    self._succ[frontier] = []
+                return
             if net.is_final(marking):
                 continue  # the computation has terminated; do not expand
             for transition in net.enabled(marking):

@@ -17,6 +17,7 @@ from dataclasses import dataclass, field
 
 from ..gates.netlist import GateNetlist
 from ..gates.simulate import CompiledCircuit
+from ..runtime.budget import Budget
 from .fault_sim import FaultSimulator
 from .faults import Fault, full_fault_list, sample_faults
 from .podem import PodemEngine
@@ -38,12 +39,24 @@ class ATPGConfig:
     fault_fraction: float = 1.0
     #: Skip the deterministic phase entirely (random-only ATPG).
     deterministic: bool = True
+    #: Wall-clock allowance for the whole run (None = unlimited); a
+    #: shared :class:`Budget` passed to :func:`run_atpg` wins over this.
+    wall_seconds: float | None = None
 
 
-def run_atpg(netlist: GateNetlist, config: ATPGConfig | None = None
-             ) -> ATPGResult:
-    """Run the full ATPG flow on a gate netlist."""
+def run_atpg(netlist: GateNetlist, config: ATPGConfig | None = None,
+             budget: Budget | None = None) -> ATPGResult:
+    """Run the full ATPG flow on a gate netlist.
+
+    When ``budget`` (or ``config.wall_seconds``) is given, every phase —
+    random TPG, fault simulation and PODEM — charges the same budget and
+    stops cleanly at its next boundary once it is exhausted; faults
+    never attempted are counted as aborted, and the result carries
+    ``budget_exhausted`` provenance instead of the run hanging or dying.
+    """
     config = config or ATPGConfig()
+    if budget is None and config.wall_seconds is not None:
+        budget = Budget(wall_seconds=config.wall_seconds)
     rng = random.Random(config.seed)
     started = time.perf_counter()
 
@@ -54,8 +67,9 @@ def run_atpg(netlist: GateNetlist, config: ATPGConfig | None = None
                         gate_count=len(netlist),
                         dff_count=len(netlist.dffs()))
 
-    simulator = FaultSimulator(circuit)
-    random_result = random_phase(simulator, faults, config.random, rng)
+    simulator = FaultSimulator(circuit, budget=budget)
+    random_result = random_phase(simulator, faults, config.random, rng,
+                                 budget=budget)
     result.detected_random = len(random_result.detected)
     result.random_cycles = random_result.test_cycles
     result.random_effort = (simulator.stats.cycles_simulated
@@ -64,7 +78,10 @@ def run_atpg(netlist: GateNetlist, config: ATPGConfig | None = None
     remaining = sorted(set(faults) - random_result.detected)
     if config.deterministic and remaining:
         _deterministic_phase(netlist, circuit, simulator, remaining,
-                             config, rng, result)
+                             config, rng, result, budget)
+    if budget is not None and budget.exhausted():
+        result.budget_exhausted = True
+        result.budget_reason = budget.reason or ""
     result.tg_seconds = time.perf_counter() - started
     return result
 
@@ -72,18 +89,27 @@ def run_atpg(netlist: GateNetlist, config: ATPGConfig | None = None
 def _deterministic_phase(netlist: GateNetlist, circuit: CompiledCircuit,
                          simulator: FaultSimulator, remaining: list[Fault],
                          config: ATPGConfig, rng: random.Random,
-                         result: ATPGResult) -> None:
+                         result: ATPGResult,
+                         budget: Budget | None = None) -> None:
     engines: dict[int, PodemEngine] = {}
 
     def engine_for(frames: int) -> PodemEngine:
         if frames not in engines:
             engines[frames] = PodemEngine(
                 unroll(netlist, frames),
-                max_backtracks=config.max_backtracks)
+                max_backtracks=config.max_backtracks,
+                budget=budget)
         return engines[frames]
 
     alive = list(remaining)
     while alive:
+        if budget is not None and budget.exhausted():
+            # Remaining faults were never attempted under this budget:
+            # count them as aborted so the coverage accounting closes.
+            result.aborted_faults += len(alive)
+            result.budget_exhausted = True
+            result.budget_reason = budget.reason or ""
+            return
         fault = alive.pop(0)
         test_sequence = None
         aborted_any = False

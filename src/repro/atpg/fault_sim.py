@@ -13,6 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..gates.simulate import FULL, CompiledCircuit
+from ..runtime.budget import Budget
 from .faults import Fault
 
 _LANES = 64
@@ -30,9 +31,11 @@ class FaultSimStats:
 class FaultSimulator:
     """Simulates input sequences against a set of candidate faults."""
 
-    def __init__(self, circuit: CompiledCircuit) -> None:
+    def __init__(self, circuit: CompiledCircuit,
+                 budget: Budget | None = None) -> None:
         self.circuit = circuit
         self.stats = FaultSimStats()
+        self.budget = budget
 
     # ------------------------------------------------------------------
     def run_sequence(self, vectors: list[dict[str, int]],
@@ -45,6 +48,8 @@ class FaultSimulator:
         """
         detected: set[Fault] = set()
         for start in range(0, len(faults), _FAULT_LANES):
+            if self.budget is not None and self.budget.exhausted():
+                break  # partial detection set; caller sees the budget
             group = faults[start:start + _FAULT_LANES]
             detected |= self._run_group(vectors, group)
         return detected
@@ -66,7 +71,10 @@ class FaultSimulator:
         detected_lanes = 0
         all_lanes = sum(1 << (i + 1) for i in range(len(group)))
         self.stats.groups_simulated += 1
+        budget = self.budget
         for cycle in vectors:
+            if budget is not None and not budget.charge():
+                break
             pi = [(FULL if cycle.get(name, 0) & 1 else 0)
                   for name in self.circuit.input_names]
             outs, state = fn(pi, state, nmask, fval)

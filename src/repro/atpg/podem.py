@@ -15,6 +15,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from ..errors import ATPGError
+from ..runtime.budget import Budget
+from ..runtime.chaos import chaos_point
 from .faults import Fault
 from .unroll import (OP_AND, OP_BUF, OP_CONST0, OP_CONST1, OP_NAND, OP_NOR,
                      OP_NOT, OP_OR, OP_PI, OP_XNOR, OP_XOR, UnrolledCircuit)
@@ -97,6 +99,9 @@ class PodemResult:
     assignment: dict[tuple[int, str], int] = field(default_factory=dict)
     stats: PodemStats = field(default_factory=PodemStats)
     aborted: bool = False
+    #: Why the attempt gave up: ``"effort_limit"`` (backtrack/implication
+    #: ceiling) or ``"budget_exhausted"`` (shared wall-clock/step budget).
+    abort_reason: str = ""
 
 
 class PodemEngine:
@@ -104,10 +109,12 @@ class PodemEngine:
 
     def __init__(self, model: UnrolledCircuit,
                  max_backtracks: int = 64,
-                 max_implications: int = 2_000_000) -> None:
+                 max_implications: int = 2_000_000,
+                 budget: Budget | None = None) -> None:
         self.model = model
         self.max_backtracks = max_backtracks
         self.max_implications = max_implications
+        self.budget = budget
 
     # ------------------------------------------------------------------
     def generate(self, fault: Fault) -> PodemResult:
@@ -127,10 +134,17 @@ class PodemEngine:
         decisions: list[tuple[int, int, bool, int]] = []
         result = PodemResult(False, stats=self.stats)
 
+        budget = self.budget
         while True:
+            chaos_point("atpg.podem_step", budget)
+            if budget is not None and not budget.charge():
+                result.aborted = True
+                result.abort_reason = "budget_exhausted"
+                return result
             if self.stats.backtracks > self.max_backtracks \
                     or self.stats.implications > self.max_implications:
                 result.aborted = True
+                result.abort_reason = "effort_limit"
                 return result
             if self._detected():
                 result.success = True

@@ -15,6 +15,7 @@ import random
 from dataclasses import dataclass, field
 
 from ..gates.simulate import CompiledCircuit
+from ..runtime.budget import Budget
 from .fault_sim import FaultSimulator
 from .faults import Fault
 
@@ -49,6 +50,8 @@ class RandomPhaseResult:
     detected: set[Fault] = field(default_factory=set)
     kept_sequences: list[list[dict[str, int]]] = field(default_factory=list)
     sequences_tried: int = 0
+    #: True when the phase stopped early on an exhausted budget.
+    budget_exhausted: bool = False
 
     @property
     def test_cycles(self) -> int:
@@ -78,13 +81,22 @@ def random_sequence(circuit: CompiledCircuit, config: RandomPhaseConfig,
 
 def random_phase(simulator: FaultSimulator, faults: list[Fault],
                  config: RandomPhaseConfig,
-                 rng: random.Random) -> RandomPhaseResult:
-    """Run the random phase with fault dropping."""
+                 rng: random.Random,
+                 budget: Budget | None = None) -> RandomPhaseResult:
+    """Run the random phase with fault dropping.
+
+    An exhausted ``budget`` ends the phase at the next sequence
+    boundary; the partial result (whatever was detected so far) is
+    tagged ``budget_exhausted``.
+    """
     remaining = sorted(faults)
     result = RandomPhaseResult()
     useless = 0
     while (remaining and result.sequences_tried < config.max_sequences
            and useless < config.saturation):
+        if budget is not None and budget.exhausted():
+            result.budget_exhausted = True
+            break
         sequence = random_sequence(simulator.circuit, config, rng)
         result.sequences_tried += 1
         caught = simulator.run_sequence(sequence, remaining)

@@ -32,6 +32,12 @@ class ATPGResult:
     tg_seconds: float = 0.0
     gate_count: int = 0
     dff_count: int = 0
+    #: True when a shared :class:`~repro.runtime.budget.Budget` ran out
+    #: mid-run; the counts above then describe a well-formed *partial*
+    #: run (unattempted faults are folded into ``aborted_faults``).
+    budget_exhausted: bool = False
+    #: Why the budget exhausted (``deadline``/``steps``/``cancelled``).
+    budget_reason: str = ""
 
     @property
     def detected(self) -> int:
@@ -63,4 +69,5 @@ class ATPGResult:
             "tg_seconds": round(self.tg_seconds, 3),
             "test_cycles": self.test_cycles,
             "gates": self.gate_count,
+            "budget_exhausted": self.budget_exhausted,
         }

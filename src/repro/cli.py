@@ -21,7 +21,7 @@ import sys
 from .bench import load, names
 from .cost import CostModel
 from .harness import (ExperimentConfig, FLOW_ORDER, render_schedule,
-                      render_sharing, render_summary, render_table, run_cell,
+                      render_sharing, render_summary, render_table,
                       synthesize_flow)
 from .synth import SynthesisParams, run_ours
 
@@ -31,16 +31,65 @@ def _add_bits(parser: argparse.ArgumentParser) -> None:
                         help="data-path bit widths (default: 4 8 16)")
 
 
+def _add_journal(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--journal", metavar="PATH", default=None,
+                        help="checkpoint completed cells to this JSONL "
+                             "journal (atomic commits)")
+    parser.add_argument("--resume", action="store_true",
+                        help="replay cells already in --journal instead "
+                             "of recomputing them")
+
+
 def _table_command(args, benchmark: str) -> int:
-    cells = []
-    for flow in FLOW_ORDER:
-        for bits in args.bits:
-            print(f"running {benchmark}/{flow}/{bits}-bit ...",
-                  file=sys.stderr)
-            cells.append(run_cell(benchmark, flow,
-                                  ExperimentConfig.quick(bits)))
+    from .runtime import Journal, run_journaled_grid
+    grid = [(flow, bits) for flow in FLOW_ORDER for bits in args.bits]
+    journal = Journal(args.journal) if args.journal else None
+    cells = run_journaled_grid(
+        benchmark, grid, ExperimentConfig.quick,
+        journal=journal, resume=args.resume,
+        progress=lambda msg: print(msg, file=sys.stderr))
     print(render_table(benchmark, cells, show_area=True))
     return 0
+
+
+def _bench_command(args) -> int:
+    from .runtime import Budget, Journal, run_journaled_grid
+    budget = (Budget(wall_seconds=args.wall_seconds)
+              if args.wall_seconds is not None else None)
+    journal = Journal(args.journal) if args.journal else None
+    cells = run_journaled_grid(
+        args.benchmark, [(args.flow, args.bits)],
+        ExperimentConfig.quick, journal=journal, resume=args.resume,
+        progress=lambda msg: print(msg, file=sys.stderr),
+        budget=budget)
+    print(render_summary(cells))
+    for cell in cells:
+        for reason in getattr(cell, "degradation", ()):
+            print(f"note: {cell.flow}/{cell.bits}-bit degraded: {reason}",
+                  file=sys.stderr)
+    return 0
+
+
+def _chaos_command(args) -> int:
+    """The ``chaos`` subcommand: fault-injection scenario matrix."""
+    from .runtime.scenarios import SCENARIOS, run_scenarios
+    if args.list_scenarios:
+        for name, _func, description in SCENARIOS:
+            print(f"{name:<24} {description}")
+        return 0
+    try:
+        outcomes = run_scenarios(args.scenarios, benchmark=args.benchmark,
+                                 bits=args.bits, workdir=args.workdir)
+    except KeyError as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 2
+    width = max(len(outcome.name) for outcome in outcomes)
+    for outcome in outcomes:
+        status = "ok" if outcome.ok else "FAIL"
+        print(f"{outcome.name:<{width}}  {status:<4}  {outcome.detail}")
+    survived = sum(outcome.ok for outcome in outcomes)
+    print(f"chaos: {survived}/{len(outcomes)} scenarios survived")
+    return 0 if survived == len(outcomes) else 1
 
 
 def _figure_command(args, benchmarks: list[str]) -> int:
@@ -189,12 +238,16 @@ def main(argv: list[str] | None = None) -> int:
         prog="repro-hlts",
         description="High-level test synthesis (Yang & Peng, DATE 1998): "
                     "regenerate the paper's tables and figures.")
+    parser.add_argument("--traceback", action="store_true",
+                        help="print the full traceback on pipeline errors "
+                             "instead of a one-line message")
     sub = parser.add_subparsers(dest="command", required=True)
 
     for table, benchmark in (("table1", "ex"), ("table2", "dct"),
                              ("table3", "diffeq")):
         p = sub.add_parser(table, help=f"reproduce {table} ({benchmark})")
         _add_bits(p)
+        _add_journal(p)
 
     for figure, benchmarks in (("fig2", ["ex"]), ("fig3", ["dct", "diffeq"])):
         p = sub.add_parser(figure, help=f"reproduce {figure} schedule(s)")
@@ -225,6 +278,27 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("benchmark", choices=names())
     p.add_argument("--flow", choices=FLOW_ORDER, default="ours")
     p.add_argument("--bits", type=int, default=8)
+    p.add_argument("--wall-seconds", type=float, default=None,
+                   help="wall-clock budget for the cell; on exhaustion the "
+                        "cell completes with a degraded partial result")
+    _add_journal(p)
+
+    p = sub.add_parser(
+        "chaos",
+        help="fault-injection scenario matrix (prove graceful degradation)")
+    p.add_argument("--scenario", action="append", dest="scenarios",
+                   metavar="NAME", default=None,
+                   help="run only this scenario (repeatable; "
+                        "default: the whole matrix)")
+    p.add_argument("--benchmark", choices=names(), default="ex",
+                   help="benchmark the scenarios run on (default: ex)")
+    p.add_argument("--bits", type=int, default=4,
+                   help="data-path width for the scenarios (default: 4)")
+    p.add_argument("--workdir", default=None,
+                   help="directory for scenario artifacts such as "
+                        "journals (default: a fresh temp dir)")
+    p.add_argument("--list", action="store_true", dest="list_scenarios",
+                   help="print the scenario table and exit")
 
     p = sub.add_parser(
         "lint",
@@ -267,6 +341,21 @@ def main(argv: list[str] | None = None) -> int:
 
     args = parser.parse_args(argv)
 
+    from .errors import ReproError
+    try:
+        return _dispatch(args, parser)
+    except ReproError as exc:
+        # Pipeline failures are expected, diagnosable events: one line
+        # on stderr and a distinct exit code (3: lint reserves 1 and
+        # argparse 2) unless the user asked for the full traceback.
+        if args.traceback:
+            raise
+        print(f"error: {exc}", file=sys.stderr)
+        return 3
+
+
+def _dispatch(args, parser: argparse.ArgumentParser) -> int:
+    """Route parsed arguments to their subcommand."""
     if args.command == "table1":
         return _table_command(args, "ex")
     if args.command == "table2":
@@ -325,10 +414,9 @@ def main(argv: list[str] | None = None) -> int:
             print(render_report(load_rows(args.rows)))
         return 0
     if args.command == "bench":
-        cell = run_cell(args.benchmark, args.flow,
-                        ExperimentConfig.quick(args.bits))
-        print(render_summary([cell]))
-        return 0
+        return _bench_command(args)
+    if args.command == "chaos":
+        return _chaos_command(args)
     if args.command == "lint":
         return _lint_command(args)
     if args.command == "analyze":

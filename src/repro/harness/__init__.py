@@ -2,7 +2,7 @@
 
 from .experiment import (CellResult, ExperimentConfig, FLOW_ORDER,
                          PAPER_PARAMS, run_benchmark_table, run_cell,
-                         synthesize_flow)
+                         synthesize_flow, synthesize_flow_result)
 from .figures import render_lifetimes, render_schedule, render_sharing
 from .report import load_rows, render_report, shape_checks, write_report
 from .tables import format_allocation, render_summary, render_table
@@ -25,4 +25,5 @@ __all__ = [
     "run_benchmark_table",
     "run_cell",
     "synthesize_flow",
+    "synthesize_flow_result",
 ]

@@ -20,7 +20,8 @@ from ..dfg import unit_class, UnitClass
 from ..etpn.design import Design
 from ..gates import expand_to_gates, expand_with_controller
 from ..rtl import build_control_table, generate_rtl
-from ..synth import SynthesisParams, run_flow
+from ..runtime.budget import Budget
+from ..synth import SynthesisParams, SynthesisResult, run_flow
 from ..testability import analyze, sequential_depth_metric
 
 #: The flow order the paper's tables use.
@@ -73,6 +74,11 @@ class CellResult:
     register_groups: dict[str, list[str]]
     seq_depth: float
     testability_quality: float
+    #: True when any stage ran out of budget or degraded; the numbers
+    #: then describe a valid partial run, not the converged result.
+    degraded: bool = False
+    #: Why (synthesis degradation reasons + ATPG budget provenance).
+    degradation: tuple[str, ...] = ()
 
     def row(self) -> dict[str, object]:
         """Flat dict for table rendering and EXPERIMENTS.md."""
@@ -90,25 +96,42 @@ class CellResult:
             "test_cycles": self.atpg.test_cycles,
             "area_mm2": round(self.area_mm2, 3),
             "seq_depth": round(self.seq_depth, 1),
+            "degraded": self.degraded,
         }
 
 
-def synthesize_flow(benchmark: str, flow: str, bits: int) -> Design:
-    """Run one of the four flows on a named benchmark."""
+def synthesize_flow_result(benchmark: str, flow: str, bits: int,
+                           budget: Budget | None = None) -> SynthesisResult:
+    """Run one of the four flows, keeping the full result (history,
+    skipped candidates, degradation provenance)."""
     dfg = load(benchmark)
     cost_model = CostModel(bits=bits)
     if flow == "ours":
         k, alpha, beta = PAPER_PARAMS.get(bits, (3, 2.0, 1.0))
         params = SynthesisParams(k=k, alpha=alpha, beta=beta)
-        return run_flow("ours", dfg, cost_model=cost_model,
-                        params=params).design
-    return run_flow(flow, dfg, cost_model=cost_model).design
+        return run_flow("ours", dfg, cost_model=cost_model, params=params,
+                        budget=budget)
+    return run_flow(flow, dfg, cost_model=cost_model, budget=budget)
+
+
+def synthesize_flow(benchmark: str, flow: str, bits: int,
+                    budget: Budget | None = None) -> Design:
+    """Run one of the four flows on a named benchmark."""
+    return synthesize_flow_result(benchmark, flow, bits, budget).design
 
 
 def run_cell(benchmark: str, flow: str,
-             config: ExperimentConfig) -> CellResult:
-    """Produce one table cell (synthesis + ATPG + cost)."""
-    design = synthesize_flow(benchmark, flow, config.bits)
+             config: ExperimentConfig,
+             budget: Budget | None = None) -> CellResult:
+    """Produce one table cell (synthesis + ATPG + cost).
+
+    A shared ``budget`` bounds both the synthesis loop and the ATPG
+    run; an exhausted budget yields a valid, ``degraded``-flagged cell
+    instead of a crash or a hang.
+    """
+    synthesis = synthesize_flow_result(benchmark, flow, config.bits,
+                                       budget=budget)
+    design = synthesis.design
     rtl = generate_rtl(design, config.bits)
     if config.embedded_controller:
         table = build_control_table(design, rtl)
@@ -124,8 +147,11 @@ def run_cell(benchmark: str, flow: str,
         max_frames=max_frames,
         max_backtracks=config.max_backtracks,
         fault_fraction=config.fault_fraction)
-    atpg = run_atpg(netlist, atpg_config)
+    atpg = run_atpg(netlist, atpg_config, budget=budget)
 
+    degradation = list(synthesis.degradation_reasons)
+    if atpg.budget_exhausted:
+        degradation.append(f"atpg budget_exhausted:{atpg.budget_reason}")
     cost_model = CostModel(bits=config.bits)
     area = cost_model.hardware_total(design.datapath)
     analysis = analyze(design.datapath)
@@ -135,7 +161,8 @@ def run_cell(benchmark: str, flow: str,
         module_groups=design.binding.modules(),
         register_groups=design.binding.registers(),
         seq_depth=sequential_depth_metric(design.datapath),
-        testability_quality=analysis.design_quality())
+        testability_quality=analysis.design_quality(),
+        degraded=bool(degradation), degradation=tuple(degradation))
 
 
 def run_benchmark_table(benchmark: str, bits_list: tuple[int, ...] = (4, 8, 16),

@@ -12,6 +12,8 @@ from __future__ import annotations
 import json
 from pathlib import Path
 
+from ..runtime.atomic import atomic_write_text
+
 _TABLE_TITLES = {"table1": "Table 1 — Ex", "table2": "Table 2 — Dct",
                  "table3": "Table 3 — Diffeq"}
 _FLOW_TITLES = {"camad": "CAMAD", "approach1": "Approach 1",
@@ -21,6 +23,10 @@ _FLOW_ORDER = ["camad", "approach1", "approach2", "ours"]
 
 def load_rows(path: str | Path) -> list[dict]:
     """Read a rows.jsonl file."""
+    from ..errors import ReproError
+    if not Path(path).is_file():
+        raise ReproError(f"no recorded rows at {path}: run "
+                         f"'pytest benchmarks/' first")
     rows = []
     with open(path) as handle:
         for line in handle:
@@ -116,7 +122,7 @@ def render_report(rows: list[dict]) -> str:
 
 
 def write_report(rows_path: str | Path, output_path: str | Path) -> str:
-    """Load rows, render, write, and return the markdown."""
+    """Load rows, render, write atomically, and return the markdown."""
     text = render_report(load_rows(rows_path))
-    Path(output_path).write_text(text + "\n")
+    atomic_write_text(output_path, text + "\n")
     return text

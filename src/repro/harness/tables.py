@@ -15,7 +15,15 @@ _FLOW_TITLE = {"camad": "CAMAD", "approach1": "Approach 1",
 
 
 def format_allocation(cell: CellResult) -> list[str]:
-    """Module/register allocation lines, paper style."""
+    """Module/register allocation lines, paper style.
+
+    Cells restored from a journal (:class:`~repro.runtime.checkpoint.
+    JournaledCell`) carry their lines pre-rendered; live cells render
+    from the design.
+    """
+    stored = getattr(cell, "alloc_lines", None)
+    if stored is not None:
+        return list(stored)
     lines = []
     for module, ops in cell.module_groups.items():
         symbol = module_symbol(cell.design, module)

@@ -19,6 +19,7 @@ from .dfg import DFG, DFGBuilder
 from .dfg.graph import Const
 from .errors import ReproError
 from .etpn.design import Design
+from .runtime.atomic import atomic_write_text
 
 FORMAT_DFG = "repro-dfg-v1"
 FORMAT_DESIGN = "repro-design-v1"
@@ -91,9 +92,9 @@ def design_from_dict(data: dict) -> Design:
 
 
 def save_design(design: Design, path: str | Path) -> None:
-    """Write a design to a JSON file."""
-    Path(path).write_text(json.dumps(design_to_dict(design), indent=2)
-                          + "\n")
+    """Write a design to a JSON file (atomically: temp, fsync, rename)."""
+    atomic_write_text(path, json.dumps(design_to_dict(design), indent=2)
+                      + "\n")
 
 
 def load_design(path: str | Path) -> Design:

@@ -45,6 +45,28 @@ def check_sequential_depth(ctx: LintContext, emit: Emit) -> None:
                       "paths during rescheduling")
 
 
+@rule("TST004", layer="testability", severity=Severity.WARNING,
+      title="testability fixed point did not converge")
+def check_fixed_point_convergence(ctx: LintContext, emit: Emit) -> None:
+    """The CC/CO relaxation hit its iteration ceiling without reaching a
+    fixed point; the C/O values driving candidate selection are then the
+    last iterate, not the converged measures."""
+    from ..testability.analysis import analyze
+    analysis = ctx.cache.get("testability.analysis")
+    if analysis is None:
+        analysis = ctx.cache["testability.analysis"] = analyze(ctx.datapath)
+    if not analysis.forward_converged:
+        emit("controllability propagation did not converge within the "
+             "iteration limit", location=ctx.name,
+             hint="results are a lower bound; check for pathological "
+                  "data-path loops")
+    if not analysis.backward_converged:
+        emit("observability propagation did not converge within the "
+             "iteration limit", location=ctx.name,
+             hint="results are a lower bound; check for pathological "
+                  "data-path loops")
+
+
 @rule("TST003", layer="testability", severity=Severity.WARNING,
       title="uncontrollable or unobservable register")
 def check_registers_reachable(ctx: LintContext, emit: Emit) -> None:

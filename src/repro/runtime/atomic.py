@@ -1,0 +1,39 @@
+"""Atomic file writes: temp file in the same directory, fsync, rename.
+
+Every result-file write in the library goes through
+:func:`atomic_write_text` so an interrupted run (crash, deadline kill,
+chaos injection) never leaves a truncated export, report or journal —
+readers either see the previous complete contents or the new complete
+contents, never a prefix.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from pathlib import Path
+
+
+def atomic_write_text(path: str | Path, text: str) -> None:
+    """Write ``text`` to ``path`` atomically (write-temp, fsync, rename).
+
+    The temp file lives in the destination directory so the final
+    ``os.replace`` is a same-filesystem rename, which POSIX makes
+    atomic.
+    """
+    path = Path(path)
+    fd, tmp_name = tempfile.mkstemp(dir=path.parent or Path("."),
+                                    prefix=path.name + ".", suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w") as handle:
+            handle.write(text)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_name, path)
+    except BaseException:
+        # Leave no droppings behind on failure (incl. chaos crashes).
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise

@@ -1,0 +1,123 @@
+"""Cooperative effort budgets for the long-running kernels.
+
+The paper's headline metric is test-generation effort under *bounded*
+search (PODEM backtrack limits, §5) — the same discipline every other
+long loop in the pipeline should obey.  A :class:`Budget` carries a
+wall-clock deadline, an abstract step ceiling and a cooperative
+cancellation flag; the PODEM search, the random test-generation phase,
+fault simulation, the reachability BFS and the merger loop all
+:meth:`charge` it as they work and stop *cleanly* once it is exhausted,
+returning a well-formed partial result tagged with
+``budget_exhausted`` provenance instead of hanging or raising.
+
+Budgets are sticky: once exhausted (for any reason) they stay
+exhausted, so a budget threaded through several stages shuts the whole
+pipeline down the moment any stage drains it.  Wall-clock checks are
+amortised — the monotonic clock is read once every
+:data:`CLOCK_CHECK_INTERVAL` charged steps — so charging is cheap
+enough for per-iteration use inside the PODEM decision loop.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Optional
+
+#: Steps between reads of the monotonic clock while charging.
+CLOCK_CHECK_INTERVAL = 256
+
+#: Exhaustion reasons, also used as provenance tags.
+REASON_DEADLINE = "deadline"
+REASON_STEPS = "steps"
+REASON_CANCELLED = "cancelled"
+
+
+class Budget:
+    """A wall-clock / step budget shared by cooperating loops.
+
+    Attributes:
+        wall_seconds: wall-clock allowance, or None for unlimited time.
+        max_steps: abstract step ceiling, or None for unlimited steps.
+            Steps are whatever unit the charging loop finds natural
+            (PODEM decisions, simulated cycles, explored markings...).
+    """
+
+    __slots__ = ("wall_seconds", "max_steps", "steps", "_clock",
+                 "_deadline", "_reason", "_next_clock_check")
+
+    def __init__(self, wall_seconds: float | None = None,
+                 max_steps: int | None = None, *,
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        self.wall_seconds = wall_seconds
+        self.max_steps = max_steps
+        self.steps = 0
+        self._clock = clock
+        self._deadline = (None if wall_seconds is None
+                          else clock() + wall_seconds)
+        self._reason: Optional[str] = None
+        self._next_clock_check = 0
+
+    @classmethod
+    def unlimited(cls) -> "Budget":
+        """A budget that never exhausts (cancellation still works)."""
+        return cls()
+
+    # ------------------------------------------------------------------
+    def charge(self, steps: int = 1) -> bool:
+        """Record ``steps`` units of work; True while within budget."""
+        if self._reason is not None:
+            return False
+        self.steps += steps
+        if self.max_steps is not None and self.steps > self.max_steps:
+            self._reason = REASON_STEPS
+            return False
+        if self._deadline is not None and self.steps >= self._next_clock_check:
+            self._next_clock_check = self.steps + CLOCK_CHECK_INTERVAL
+            if self._clock() > self._deadline:
+                self._reason = REASON_DEADLINE
+                return False
+        return True
+
+    def exhausted(self) -> bool:
+        """True once the budget has run out (sticky).
+
+        Unlike :meth:`charge` this always consults the clock, so it is
+        the right check at stage boundaries (between faults, between
+        markings, between merger iterations) where precision matters
+        more than speed.
+        """
+        if self._reason is not None:
+            return True
+        if self.max_steps is not None and self.steps > self.max_steps:
+            self._reason = REASON_STEPS
+        elif self._deadline is not None and self._clock() > self._deadline:
+            self._reason = REASON_DEADLINE
+        return self._reason is not None
+
+    def cancel(self, reason: str = REASON_CANCELLED) -> None:
+        """Cooperatively stop every loop sharing this budget."""
+        if self._reason is None:
+            self._reason = reason
+
+    # ------------------------------------------------------------------
+    @property
+    def reason(self) -> Optional[str]:
+        """Why the budget exhausted (None while still within budget)."""
+        return self._reason
+
+    def remaining_seconds(self) -> float | None:
+        """Wall-clock time left, or None when untimed."""
+        if self._deadline is None:
+            return None
+        return max(0.0, self._deadline - self._clock())
+
+    def provenance(self) -> dict[str, object]:
+        """Tags a partial result carries to explain its incompleteness."""
+        return {"budget_exhausted": self._reason is not None,
+                "budget_reason": self._reason,
+                "budget_steps": self.steps}
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        state = self._reason or "ok"
+        return (f"Budget(wall_seconds={self.wall_seconds}, "
+                f"max_steps={self.max_steps}, steps={self.steps}, {state})")

@@ -1,0 +1,178 @@
+"""Checkpoint/resume for the experiment harness.
+
+A full paper table is a grid of benchmark × flow × bit-width cells,
+each minutes of synthesis + ATPG; before this module a crash at cell
+eleven of twelve lost everything.  A :class:`Journal` records each
+completed cell as one JSON line, committed via atomic
+write-temp-rename (:mod:`repro.runtime.atomic`), so the file on disk is
+always a complete, valid JSONL document.  ``repro-hlts table*`` and
+``bench`` grow ``--journal``/``--resume``: a resumed run replays
+finished cells from the journal (restored as :class:`JournaledCell`,
+which renders exactly like the live :class:`~repro.harness.experiment.
+CellResult` it checkpoints) and computes only the remainder.
+
+Everything a table needs is journaled — the flat ``row()`` dict plus
+the pre-rendered allocation lines — so restoring never re-runs
+synthesis, and deterministic fields of a resumed table are
+byte-identical to an uninterrupted run (wall-clock seconds are the one
+nondeterministic column; the chaos harness masks them when comparing).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Iterable, Optional
+
+from .atomic import atomic_write_text
+from .chaos import chaos_point
+
+#: Journal format tag; bump on incompatible record changes.
+JOURNAL_FORMAT = "repro-journal-v1"
+
+#: (benchmark, flow, bits) — the identity of one table cell.
+CellKey = tuple[str, str, int]
+
+
+@dataclass
+class JournaledCell:
+    """A completed cell restored from the journal.
+
+    Quacks like :class:`~repro.harness.experiment.CellResult` for table
+    rendering: ``row()`` and the allocation lines are served verbatim
+    from the journal record.
+    """
+
+    benchmark: str
+    flow: str
+    bits: int
+    alloc_lines: list[str] = field(default_factory=list)
+    row_data: dict[str, Any] = field(default_factory=dict)
+    provenance: dict[str, Any] = field(default_factory=dict)
+
+    def row(self) -> dict[str, Any]:
+        return dict(self.row_data)
+
+
+def cell_record(cell: Any, provenance: dict[str, Any] | None = None) -> dict:
+    """Serialise one completed cell (live or restored) to a journal row."""
+    if isinstance(cell, JournaledCell):
+        alloc = list(cell.alloc_lines)
+        provenance = {**cell.provenance, **(provenance or {})}
+    else:
+        from ..harness.tables import format_allocation
+        alloc = format_allocation(cell)
+    record = {
+        "format": JOURNAL_FORMAT,
+        "kind": "cell",
+        "benchmark": cell.benchmark,
+        "flow": cell.flow,
+        "bits": cell.bits,
+        "row": cell.row(),
+        "alloc": alloc,
+    }
+    if provenance:
+        record["provenance"] = provenance
+    return record
+
+
+def restore_cell(record: dict) -> JournaledCell:
+    """Rebuild a render-ready cell from a journal record."""
+    return JournaledCell(
+        benchmark=record["benchmark"], flow=record["flow"],
+        bits=int(record["bits"]), alloc_lines=list(record.get("alloc", [])),
+        row_data=dict(record.get("row", {})),
+        provenance=dict(record.get("provenance", {})))
+
+
+def record_key(record: dict) -> CellKey:
+    """The grid key of a journal record."""
+    return (record["benchmark"], record["flow"], int(record["bits"]))
+
+
+class Journal:
+    """An append-only JSONL journal with atomic commits.
+
+    Each :meth:`append` rewrites the whole file through a temp-file
+    rename, so a reader (or a resumed run) always sees a complete
+    document — the ``journal.pre_write`` chaos seam sits right before
+    the rename to prove a crash there loses at most the newest record.
+    """
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+
+    # ------------------------------------------------------------------
+    def records(self) -> list[dict]:
+        """Every journaled record ([] when the file does not exist)."""
+        if not self.path.exists():
+            return []
+        records = []
+        with open(self.path) as handle:
+            for line in handle:
+                line = line.strip()
+                if line:
+                    records.append(json.loads(line))
+        return records
+
+    def completed_cells(self) -> dict[CellKey, dict]:
+        """Finished cells by grid key (later records win)."""
+        return {record_key(r): r for r in self.records()
+                if r.get("kind") == "cell"}
+
+    def append(self, record: dict) -> None:
+        """Commit one record atomically."""
+        lines = [json.dumps(r, sort_keys=True) for r in self.records()]
+        lines.append(json.dumps(record, sort_keys=True))
+        chaos_point("journal.pre_write")
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        atomic_write_text(self.path, "\n".join(lines) + "\n")
+
+
+def run_journaled_grid(benchmark: str,
+                       grid: Iterable[tuple[str, int]],
+                       config_for: Callable[[int], Any],
+                       journal: Optional[Journal] = None,
+                       resume: bool = False,
+                       progress: Callable[[str], None] | None = None,
+                       budget: Any = None) -> list[Any]:
+    """Run (or resume) a grid of table cells, journaling each completion.
+
+    Args:
+        benchmark: the benchmark every cell runs.
+        grid: (flow, bits) pairs in table order.
+        config_for: bits -> :class:`~repro.harness.experiment.
+            ExperimentConfig` for that column.
+        journal: where completed cells are committed (None = no
+            journaling).
+        resume: replay cells already in ``journal`` instead of
+            recomputing them.
+        progress: optional callable for per-cell status lines.
+        budget: optional :class:`~repro.runtime.budget.Budget` threaded
+            into each cell's synthesis + ATPG.
+
+    Returns:
+        One cell per grid entry — live ``CellResult`` for computed
+        cells, :class:`JournaledCell` for replayed ones.
+    """
+    from ..harness.experiment import run_cell
+
+    done = (journal.completed_cells()
+            if journal is not None and resume else {})
+    cells: list[Any] = []
+    for flow, bits in grid:
+        key: CellKey = (benchmark, flow, bits)
+        if key in done:
+            if progress:
+                progress(f"resuming {benchmark}/{flow}/{bits}-bit "
+                         f"from journal")
+            cells.append(restore_cell(done[key]))
+            continue
+        if progress:
+            progress(f"running {benchmark}/{flow}/{bits}-bit ...")
+        cell = run_cell(benchmark, flow, config_for(bits), budget=budget)
+        if journal is not None:
+            journal.append(cell_record(cell))
+        cells.append(cell)
+    return cells

@@ -8,7 +8,7 @@ from .candidates import (CandidatePair, compatible_pairs, rank_candidates,
                          rank_candidates_connectivity, top_k)
 from .merger import (MergeOutcome, try_merge, try_merge_modules,
                      try_merge_registers)
-from .result import MergeRecord, SynthesisResult
+from .result import MergeRecord, SkippedCandidate, SynthesisResult
 
 __all__ = [
     "FLOWS",
@@ -16,6 +16,7 @@ __all__ = [
     "DesignPoint",
     "MergeOutcome",
     "MergeRecord",
+    "SkippedCandidate",
     "SynthesisParams",
     "SynthesisResult",
     "compatible_pairs",

@@ -16,10 +16,12 @@ from ..dfg import DFG
 from ..errors import SynthesisError
 from ..etpn.design import Design
 from ..etpn.from_dfg import default_design
+from ..runtime.budget import Budget
+from ..runtime.chaos import ChaosCrash, chaos_point
 from ..testability import analyze
 from .candidates import rank_candidates
 from .merger import MergeOutcome, try_merge
-from .result import MergeRecord, SynthesisResult
+from .result import MergeRecord, SkippedCandidate, SynthesisResult
 
 
 @dataclass(frozen=True)
@@ -71,7 +73,8 @@ class SynthesisParams:
 
 def synthesize(dfg: DFG, params: SynthesisParams | None = None,
                cost_model: CostModel | None = None,
-               label: str = "ours") -> SynthesisResult:
+               label: str = "ours",
+               budget: Budget | None = None) -> SynthesisResult:
     """Run the paper's integrated test-synthesis algorithm on ``dfg``.
 
     Args:
@@ -80,17 +83,35 @@ def synthesize(dfg: DFG, params: SynthesisParams | None = None,
         cost_model: bit width and module library for ΔH; defaults to
             8-bit with the standard library.
         label: label recorded on the produced design.
+        budget: optional wall-clock/step budget charged once per merger
+            iteration; on exhaustion the best design found so far is
+            returned with ``degraded=True`` instead of running on.
 
     Returns:
-        The final design and the full merger history.
+        The final design and the full merger history.  A candidate whose
+        rescheduling, verification or cost evaluation raises is recorded
+        in ``result.skipped`` and the loop continues — one misbehaving
+        candidate never aborts the run.  The loop hitting
+        ``max_iterations`` likewise yields a degraded best-so-far result
+        rather than an exception; only an invalid *final* design (or a
+        ``debug_lint`` audit failure) still raises
+        :class:`~repro.errors.SynthesisError`.
     """
     params = params or SynthesisParams()
     cost_model = cost_model or CostModel()
     design = default_design(dfg, label=label)
     history: list[MergeRecord] = []
+    skipped: list[SkippedCandidate] = []
+    degradation: list[str] = []
 
     for iteration in range(params.max_iterations):
-        outcome = _best_merger(design, params, cost_model)
+        if budget is not None and not budget.charge():
+            degradation.append(
+                f"budget_exhausted:{budget.reason} after "
+                f"{len(history)} mergers")
+            break
+        outcome = _best_merger(design, params, cost_model, iteration,
+                               skipped)
         if outcome is None:
             break
         design = outcome.design.replaced(label=label)
@@ -103,14 +124,17 @@ def synthesize(dfg: DFG, params: SynthesisParams | None = None,
             delta_c=outcome.delta_c(params.alpha, params.beta),
             order=outcome.order))
     else:
-        raise SynthesisError(f"{dfg.name}: merger loop did not terminate "
-                             f"within {params.max_iterations} iterations")
+        degradation.append(f"merger loop did not terminate within "
+                           f"{params.max_iterations} iterations")
 
     design.validate()
     return SynthesisResult(design, history,
                            params={"k": params.k, "alpha": params.alpha,
                                    "beta": params.beta,
-                                   "bits": cost_model.bits})
+                                   "bits": cost_model.bits},
+                           skipped=skipped,
+                           degraded=bool(degradation),
+                           degradation_reasons=degradation)
 
 
 def _debug_lint(design: Design, iteration: int, outcome: MergeOutcome) -> None:
@@ -144,12 +168,17 @@ def _merger_verified(outcome: MergeOutcome) -> bool:
 
 
 def _best_merger(design: Design, params: SynthesisParams,
-                 cost_model: CostModel) -> MergeOutcome | None:
+                 cost_model: CostModel, iteration: int = 0,
+                 skipped: list[SkippedCandidate] | None = None
+                 ) -> MergeOutcome | None:
     """Steps 3-14 of Algorithm 1 for one iteration.
 
     The k top balance-ranked pairs are costed and the cheapest ΔC wins.
     If none of the k is feasible the search continues down the ranking
-    (the loop only ends "until no merger exists").
+    (the loop only ends "until no merger exists").  Candidate evaluation
+    runs behind an exception barrier: a candidate whose rescheduling,
+    verification or cost estimate raises is appended to ``skipped`` and
+    the ranking walk continues with the next pair.
     """
     if params.selection == "connectivity":
         from .candidates import rank_candidates_connectivity
@@ -163,9 +192,21 @@ def _best_merger(design: Design, params: SynthesisParams,
         return outcome.delta_c(params.alpha, params.beta) < -1e-12
 
     for pair in ranked:
-        outcome = try_merge(design, pair.kind, pair.node_a, pair.node_b,
-                            cost_model, strategy=params.order_strategy)
-        if outcome is None or not _admissible(params, design, outcome):
+        try:
+            chaos_point("synth.candidate_eval",
+                        (pair.kind, pair.node_a, pair.node_b))
+            outcome = try_merge(design, pair.kind, pair.node_a,
+                                pair.node_b, cost_model,
+                                strategy=params.order_strategy)
+            if outcome is None or not _admissible(params, design, outcome):
+                continue
+        except ChaosCrash:
+            raise  # simulated process death must not be absorbed
+        except Exception as exc:  # noqa: BLE001 - the barrier's point
+            if skipped is not None:
+                skipped.append(SkippedCandidate(
+                    iteration, pair.kind, pair.node_a, pair.node_b,
+                    f"{type(exc).__name__}: {exc}"))
             continue
         window.append(outcome)
         if len(window) < params.k:

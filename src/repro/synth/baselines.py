@@ -78,9 +78,10 @@ def run_approach2(dfg: DFG, cost_model: CostModel | None = None
 
 
 def run_ours(dfg: DFG, params: SynthesisParams | None = None,
-             cost_model: CostModel | None = None) -> SynthesisResult:
+             cost_model: CostModel | None = None,
+             budget: object = None) -> SynthesisResult:
     """The paper's integrated algorithm (Algorithm 1)."""
-    return synthesize(dfg, params, cost_model, label="ours")
+    return synthesize(dfg, params, cost_model, label="ours", budget=budget)
 
 
 #: Flow registry used by the harness and the CLI.
@@ -94,10 +95,16 @@ FLOWS = {
 
 def run_flow(name: str, dfg: DFG,
              cost_model: CostModel | None = None,
-             params: SynthesisParams | None = None) -> SynthesisResult:
-    """Run one of the four §5 flows by name."""
+             params: SynthesisParams | None = None,
+             budget: object = None) -> SynthesisResult:
+    """Run one of the four §5 flows by name.
+
+    ``budget`` bounds the iterative flow (``ours``); the one-shot
+    baselines complete in a single pass and ignore it.
+    """
     if name not in FLOWS:
         raise KeyError(f"unknown flow {name!r}; choose from {sorted(FLOWS)}")
     if name == "ours":
-        return run_ours(dfg, params=params, cost_model=cost_model)
+        return run_ours(dfg, params=params, cost_model=cost_model,
+                        budget=budget)
     return FLOWS[name](dfg, cost_model)

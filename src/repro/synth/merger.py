@@ -20,6 +20,7 @@ from dataclasses import dataclass
 from ..cost import CostModel
 from ..errors import BindingError
 from ..etpn.design import Design
+from ..runtime.chaos import chaos_point
 from ..sched.resched import (current_module_orders, current_register_orders,
                              merge_order_candidates, reschedule)
 
@@ -93,6 +94,7 @@ def try_merge_modules(design: Design, keep: str, absorb: str,
     candidates: list[Design] = []
     orders: dict[int, tuple[str, ...]] = {}
     for order in merge_order_candidates(seq_keep, seq_absorb, design.steps):
+        order = chaos_point("synth.pre_reschedule", order)
         steps = reschedule(dfg, new_binding,
                            {**module_orders, keep: order}, register_orders)
         if steps is None:
@@ -142,6 +144,7 @@ def try_merge_registers(design: Design, keep: str, absorb: str,
     candidates: list[Design] = []
     orders: dict[int, tuple[str, ...]] = {}
     for order in merge_order_candidates(seq_keep, seq_absorb, birth_rank):
+        order = chaos_point("synth.pre_reschedule", order)
         steps = reschedule(dfg, new_binding, module_orders,
                            {**register_orders, keep: order})
         if steps is None:

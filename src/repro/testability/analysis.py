@@ -77,8 +77,20 @@ class TestabilityAnalysis:
         self._out_ctrl: dict[str, _CV] = {}
         self._arc_obs: dict[tuple[str, str, int], _CV] = {}
         self._node_obs: dict[str, _CV] = {}
+        #: Did the forward (controllability) / backward (observability)
+        #: relaxations reach a fixed point within ``_MAX_ITERATIONS``?
+        #: When False the values below are the last iterate, not the
+        #: fixed point — lint rule TST004 surfaces this instead of the
+        #: analysis silently using unconverged numbers.
+        self.forward_converged = False
+        self.backward_converged = False
         self._run_forward()
         self._run_backward()
+
+    @property
+    def converged(self) -> bool:
+        """True when both fixed-point iterations actually converged."""
+        return self.forward_converged and self.backward_converged
 
     # ------------------------------------------------------------------
     # Forward: controllability
@@ -133,6 +145,7 @@ class TestabilityAnalysis:
                     self._out_ctrl[node_id] = candidate
                     changed = True
             if not changed:
+                self.forward_converged = True
                 break
 
     # ------------------------------------------------------------------
@@ -170,6 +183,7 @@ class TestabilityAnalysis:
                     self._node_obs[node_id] = best
                     changed = True
             if not changed:
+                self.backward_converged = True
                 break
         self._arc_obs = {(a.src, a.dst, a.port): self._arc_observability(a)
                          for a in dp.arcs}

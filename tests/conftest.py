@@ -5,6 +5,30 @@ from __future__ import annotations
 import pytest
 
 from repro.dfg import DFGBuilder
+from repro.runtime.chaos import ChaosInjector
+
+
+@pytest.fixture
+def chaos():
+    """Activate chaos injections for one test, deactivating on exit.
+
+    Usage::
+
+        def test_something(chaos):
+            chaos(Injection("synth.candidate_eval", ACTION_RAISE))
+            ...  # the injector is active for the rest of the test
+    """
+    active: list[ChaosInjector] = []
+
+    def activate(*injections, seed: int = 0) -> ChaosInjector:
+        injector = ChaosInjector(*injections, seed=seed)
+        injector.__enter__()
+        active.append(injector)
+        return injector
+
+    yield activate
+    for injector in active:
+        injector.__exit__(None, None, None)
 
 
 @pytest.fixture

@@ -1,0 +1,133 @@
+"""Atomic writes, the cell journal, and resumable experiment grids."""
+
+import json
+import os
+
+import pytest
+
+from repro.atpg import RandomPhaseConfig
+from repro.bench import load
+from repro.harness import ExperimentConfig, render_table, run_cell
+from repro.io import load_design, save_design
+from repro.runtime import (Journal, JournaledCell, atomic_write_text,
+                           cell_record, record_key, restore_cell,
+                           run_journaled_grid)
+from repro.runtime.checkpoint import JOURNAL_FORMAT
+from repro.synth import run_ours
+
+
+def _tiny_config(bits: int) -> ExperimentConfig:
+    return ExperimentConfig(
+        bits=bits, fault_fraction=0.25,
+        random=RandomPhaseConfig(max_sequences=4, saturation=2,
+                                 sequence_length=12),
+        max_backtracks=16)
+
+
+@pytest.fixture(scope="module")
+def ex_cell():
+    return run_cell("ex", "ours", _tiny_config(4))
+
+
+class TestAtomicWrite:
+    def test_writes_content(self, tmp_path):
+        path = tmp_path / "out.txt"
+        atomic_write_text(path, "hello\n")
+        assert path.read_text() == "hello\n"
+
+    def test_overwrites(self, tmp_path):
+        path = tmp_path / "out.txt"
+        atomic_write_text(path, "old")
+        atomic_write_text(path, "new")
+        assert path.read_text() == "new"
+
+    def test_no_temp_files_left_behind(self, tmp_path):
+        path = tmp_path / "out.txt"
+        atomic_write_text(path, "x")
+        assert os.listdir(tmp_path) == ["out.txt"]
+
+    def test_failure_leaves_target_untouched(self, tmp_path):
+        path = tmp_path / "out.txt"
+        atomic_write_text(path, "original")
+
+        class Boom:
+            def __str__(self):
+                raise RuntimeError("boom")
+
+        with pytest.raises(TypeError):
+            atomic_write_text(path, Boom())  # type: ignore[arg-type]
+        assert path.read_text() == "original"
+        assert os.listdir(tmp_path) == ["out.txt"]
+
+    def test_save_design_is_loadable(self, tmp_path):
+        design = run_ours(load("ex")).design
+        path = tmp_path / "design.json"
+        save_design(design, path)
+        reloaded = load_design(path)
+        assert reloaded.steps == design.steps
+
+
+class TestJournal:
+    def test_records_of_missing_file(self, tmp_path):
+        assert Journal(tmp_path / "none.jsonl").records() == []
+
+    def test_append_is_valid_jsonl(self, tmp_path):
+        journal = Journal(tmp_path / "j.jsonl")
+        journal.append({"kind": "cell", "benchmark": "ex", "flow": "ours",
+                        "bits": 4})
+        journal.append({"kind": "cell", "benchmark": "ex", "flow": "camad",
+                        "bits": 4})
+        lines = (tmp_path / "j.jsonl").read_text().splitlines()
+        assert len(lines) == 2
+        assert all(json.loads(line) for line in lines)
+        assert len(journal.records()) == 2
+
+    def test_completed_cells_latest_wins(self, tmp_path):
+        journal = Journal(tmp_path / "j.jsonl")
+        journal.append({"kind": "cell", "benchmark": "ex", "flow": "ours",
+                        "bits": 4, "row": {"v": 1}})
+        journal.append({"kind": "cell", "benchmark": "ex", "flow": "ours",
+                        "bits": 4, "row": {"v": 2}})
+        done = journal.completed_cells()
+        assert list(done) == [("ex", "ours", 4)]
+        assert done[("ex", "ours", 4)]["row"] == {"v": 2}
+
+    def test_cell_record_round_trip(self, ex_cell):
+        record = cell_record(ex_cell)
+        assert record["format"] == JOURNAL_FORMAT
+        assert record_key(record) == ("ex", "ours", 4)
+        restored = restore_cell(record)
+        assert isinstance(restored, JournaledCell)
+        assert restored.row() == ex_cell.row()
+        table_live = render_table("ex", [ex_cell])
+        table_restored = render_table("ex", [restored])
+        assert table_restored == table_live
+
+
+class TestJournaledGrid:
+    def test_resume_replays_instead_of_recomputing(self, tmp_path):
+        grid = [("camad", 4), ("ours", 4)]
+        journal = Journal(tmp_path / "grid.jsonl")
+        first = run_journaled_grid("ex", grid, _tiny_config,
+                                   journal=journal)
+        assert len(journal.records()) == 2
+        progress: list[str] = []
+        second = run_journaled_grid("ex", grid, _tiny_config,
+                                    journal=journal, resume=True,
+                                    progress=progress.append)
+        assert all(isinstance(c, JournaledCell) for c in second)
+        assert sum("resuming" in p for p in progress) == 2
+        assert [c.row() for c in second] == [c.row() for c in first]
+
+    def test_without_resume_recomputes(self, tmp_path):
+        grid = [("ours", 4)]
+        journal = Journal(tmp_path / "grid.jsonl")
+        run_journaled_grid("ex", grid, _tiny_config, journal=journal)
+        again = run_journaled_grid("ex", grid, _tiny_config,
+                                   journal=journal, resume=False)
+        assert not any(isinstance(c, JournaledCell) for c in again)
+
+    def test_no_journal_is_plain_run(self):
+        cells = run_journaled_grid("ex", [("ours", 4)], _tiny_config)
+        assert len(cells) == 1
+        assert cells[0].row()["flow"] == "ours"
