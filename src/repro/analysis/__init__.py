@@ -1,6 +1,6 @@
 """repro.analysis — whole-design static analysis of ETPN designs.
 
-Three analyses that together prove (or refute) the paper's claim that
+Four analyses that together prove (or refute) the paper's claim that
 merger transformations are semantics-preserving:
 
 * :class:`ReachabilityGraph` — the reachable markings of the control
@@ -8,18 +8,27 @@ merger transformations are semantics-preserving:
   :class:`repro.petri.reachability.ReachabilityTree`, which only prunes
   duplicates along one root path and blows up exponentially on
   concurrent control structures);
+* :mod:`repro.analysis.structural` — the enumeration-free tier:
+  P/T-invariants, siphons/traps and the bundled
+  :class:`~repro.analysis.structural.StructuralCertificate` proving
+  safety, conservation and deadlock-freedom in polynomial time;
 * :class:`MHPAnalysis` / :class:`ConcurrencyAnalysis` — the
   may-happen-in-parallel relation over places, transitions and bound
   operations, joined against the binding to detect control-level races
-  (``RAC0xx`` lint rules);
+  (``RAC0xx`` lint rules); degrades to a *sound over-approximation*
+  built from the structural certificate when the enumeration budget
+  drains;
 * :func:`certify` — a symbolic value-flow certifier that executes the
   scheduled + bound data path control step by control step and proves
   every DFG output computes the original behavioural expression
   (``EQV0xx`` lint rules on divergence).
 
-:func:`analyze_design` bundles all three for one design point; the
-``repro-hlts analyze`` CLI subcommand, the ``analysis`` lint layer and
-``SynthesisParams(verify_mergers=True)`` all go through it.
+:class:`TieredAnalysis` dispatches safety/deadlock questions structure-
+first with enumerative fallback, and :func:`cross_check` asserts the
+two tiers agree.  :func:`analyze_design` bundles everything for one
+design point; the ``repro-hlts analyze`` CLI subcommand, the
+``analysis`` lint layer and ``SynthesisParams(verify_mergers=True)``
+all go through it.
 """
 
 from .equivalence import (COMMUTATIVE, Divergence, EquivalenceCertificate,
@@ -27,6 +36,10 @@ from .equivalence import (COMMUTATIVE, Divergence, EquivalenceCertificate,
 from .mhp import MHPAnalysis
 from .races import ConcurrencyAnalysis, RaceFinding
 from .reach_graph import GraphEdge, ReachabilityGraph, UnsafeFiring
+from .structural import (Invariant, SiphonWitness, StructuralCertificate,
+                         Verdict, structural_certificate)
+from .tiers import (Tier, TierDecision, TieredAnalysis, cross_check,
+                    stuck_markings)
 from .verify import AnalysisResult, analyze_design, merger_preserves_semantics
 
 __all__ = [
@@ -36,12 +49,22 @@ __all__ = [
     "Divergence",
     "EquivalenceCertificate",
     "GraphEdge",
+    "Invariant",
     "MHPAnalysis",
     "RaceFinding",
     "ReachabilityGraph",
+    "SiphonWitness",
+    "StructuralCertificate",
+    "Tier",
+    "TierDecision",
+    "TieredAnalysis",
     "UnsafeFiring",
     "ValueNumbering",
+    "Verdict",
     "analyze_design",
     "certify",
+    "cross_check",
     "merger_preserves_semantics",
+    "stuck_markings",
+    "structural_certificate",
 ]

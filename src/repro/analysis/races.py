@@ -37,6 +37,7 @@ from ..dfg import DFG
 from ..dfg.graph import Const
 from ..petri.builders import control_net_for_design, step_place
 from ..petri.net import PetriNet
+from ..runtime.budget import Budget
 from .mhp import MHPAnalysis
 from .reach_graph import DEFAULT_MAX_MARKINGS
 
@@ -64,12 +65,20 @@ class ConcurrencyAnalysis:
             ``placement`` to analyse a hand-built control part whose
             concurrency the linear schedule cannot express.
         max_markings: bound on the reachability-graph construction.
+        budget: cooperative budget for the MHP enumeration; when it
+            drains, the MHP relation degrades to the sound structural
+            over-approximation instead of a truncated prefix (see
+            :class:`~repro.analysis.mhp.MHPAnalysis`).
+        tier: forwarded to :class:`~repro.analysis.mhp.MHPAnalysis` —
+            ``"auto"`` / ``"enumerative"`` / ``"structural"``.
     """
 
     def __init__(self, dfg: DFG, steps: dict[str, int], binding: Binding,
                  net: Optional[PetriNet] = None,
                  placement: Optional[dict[str, str]] = None,
-                 max_markings: int = DEFAULT_MAX_MARKINGS) -> None:
+                 max_markings: int = DEFAULT_MAX_MARKINGS,
+                 budget: Optional[Budget] = None,
+                 tier: str = "auto") -> None:
         self.dfg = dfg
         self.steps = dict(steps)
         self.binding = binding
@@ -78,15 +87,18 @@ class ConcurrencyAnalysis:
         if placement is None:
             placement = {op: step_place(step) for op, step in steps.items()}
         self.placement = placement
-        self.mhp = MHPAnalysis(self.net, max_markings)
+        self.mhp = MHPAnalysis(self.net, max_markings,
+                               budget=budget, tier=tier)
 
     @classmethod
     def of_design(cls, design,
-                  max_markings: int = DEFAULT_MAX_MARKINGS
-                  ) -> "ConcurrencyAnalysis":
+                  max_markings: int = DEFAULT_MAX_MARKINGS,
+                  budget: Optional[Budget] = None,
+                  tier: str = "auto") -> "ConcurrencyAnalysis":
         """Analyse a :class:`repro.etpn.design.Design` point."""
         return cls(design.dfg, design.steps, design.binding,
-                   net=design.control_net, max_markings=max_markings)
+                   net=design.control_net, max_markings=max_markings,
+                   budget=budget, tier=tier)
 
     # ------------------------------------------------------------------
     def concurrent(self, op_a: str, op_b: str) -> bool:

@@ -19,6 +19,7 @@ the safeness audit (lint rule ``NET007``).
 
 from __future__ import annotations
 
+import time
 from collections import deque
 from dataclasses import dataclass
 
@@ -65,6 +66,9 @@ class ReachabilityGraph:
             BFS early; the graph is then a well-formed *prefix* of the
             state space (every listed marking is reachable, frontier
             markings keep empty successor lists).
+        elapsed_seconds: wall-clock cost of the BFS construction, so
+            the two-tier dispatcher and the ``BENCH_analysis`` capture
+            can report it without re-walking (or re-timing) the graph.
     """
 
     def __init__(self, net: PetriNet,
@@ -77,7 +81,9 @@ class ReachabilityGraph:
         self.truncated = False
         self.truncation_reason = ""
         self._succ: dict[frozenset[str], list[GraphEdge]] = {}
+        started = time.perf_counter()
         self._build(max_markings, budget)
+        self.elapsed_seconds = time.perf_counter() - started
 
     def _build(self, max_markings: int,
                budget: Budget | None = None) -> None:
@@ -133,6 +139,16 @@ class ReachabilityGraph:
     def is_safe(self) -> bool:
         """True when no reachable firing would double-mark a place."""
         return not self.unsafe_firings
+
+    @property
+    def marking_count(self) -> int:
+        """Distinct markings discovered (result-object counter)."""
+        return len(self.markings)
+
+    @property
+    def edge_count(self) -> int:
+        """Firings recorded between discovered markings."""
+        return len(self.edges)
 
     def __len__(self) -> int:
         return len(self.markings)

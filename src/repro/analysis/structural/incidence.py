@@ -1,0 +1,150 @@
+"""Incidence-matrix view of a safe timed Petri net.
+
+The structural engine works on the classic linear-algebra picture of a
+net: for places :math:`p` and transitions :math:`t`,
+
+* ``Pre[p][t]``  — tokens ``t`` consumes from ``p``,
+* ``Post[p][t]`` — tokens ``t`` produces into ``p``,
+* ``C = Post - Pre`` — the incidence matrix.
+
+Rows are indexed by place, columns by transition, both in sorted-id
+order so the view (and everything derived from it) is deterministic.
+Entries are small integers stored sparsely (dicts keyed by index);
+arc multiplicity comes from repeating a place in a transition's
+``inputs``/``outputs`` tuple, so ordinary control nets have all-ones
+matrices.
+
+:meth:`IncidenceMatrix.closed` adds one *reset* transition per final
+place — consume the final place, reproduce the initial marking.  This
+short-circuits the terminating control part into a cyclic net, the
+standard workflow-net trick: a reachable marking of the original net is
+*stuck* (non-final, nothing enabled) exactly when it is *dead* in the
+closed net, which is what lets siphon/trap reasoning certify
+"terminates or keeps running" without treating the intended final
+marking as a deadlock.
+"""
+
+from __future__ import annotations
+
+from ...petri.net import PetriNet
+
+#: Prefix of the synthetic reset transitions added by :meth:`closed`.
+RESET_PREFIX = "__reset__"
+
+
+class IncidenceMatrix:
+    """Sparse Pre/Post/C matrices of one Petri net.
+
+    Attributes:
+        places: place ids, sorted (row order).
+        transitions: transition ids, sorted (column order).
+        pre: per-column sparse maps ``{row: weight}`` of consumed tokens.
+        post: per-column sparse maps ``{row: weight}`` of produced tokens.
+        initial: sparse initial marking ``{row: tokens}``.
+    """
+
+    def __init__(self, places: tuple[str, ...],
+                 transitions: tuple[str, ...],
+                 pre: tuple[dict[int, int], ...],
+                 post: tuple[dict[int, int], ...],
+                 initial: dict[int, int]) -> None:
+        self.places = places
+        self.transitions = transitions
+        self.pre = pre
+        self.post = post
+        self.initial = initial
+        self.place_index = {p: i for i, p in enumerate(places)}
+        self.transition_index = {t: j for j, t in enumerate(transitions)}
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def of(cls, net: PetriNet) -> "IncidenceMatrix":
+        """The incidence view of ``net`` (deterministic sorted order)."""
+        places = tuple(sorted(net.places))
+        transitions = tuple(sorted(net.transitions))
+        index = {p: i for i, p in enumerate(places)}
+        pre: list[dict[int, int]] = []
+        post: list[dict[int, int]] = []
+        for tid in transitions:
+            transition = net.transitions[tid]
+            consumed: dict[int, int] = {}
+            for pid in transition.inputs:
+                row = index[pid]
+                consumed[row] = consumed.get(row, 0) + 1
+            produced: dict[int, int] = {}
+            for pid in transition.outputs:
+                row = index[pid]
+                produced[row] = produced.get(row, 0) + 1
+            pre.append(consumed)
+            post.append(produced)
+        initial = {index[p]: 1 for p in net.initial_marking}
+        return cls(places, transitions, tuple(pre), tuple(post), initial)
+
+    def closed(self, final_places: frozenset[str]) -> "IncidenceMatrix":
+        """The short-circuited view: one reset transition per final place.
+
+        Each reset consumes its final place and reproduces the initial
+        marking, turning termination into repetition.  With no final
+        places the view is returned unchanged.
+        """
+        finals = sorted(final_places & set(self.places))
+        if not finals:
+            return self
+        transitions = list(self.transitions)
+        pre = list(self.pre)
+        post = list(self.post)
+        for pid in finals:
+            transitions.append(f"{RESET_PREFIX}{pid}")
+            pre.append({self.place_index[pid]: 1})
+            post.append(dict(self.initial))
+        return IncidenceMatrix(self.places, tuple(transitions),
+                               tuple(pre), tuple(post), dict(self.initial))
+
+    # ------------------------------------------------------------------
+    def column(self, j: int) -> dict[int, int]:
+        """Sparse column ``j`` of ``C = Post - Pre`` (empty entries = 0)."""
+        entries = dict(self.post[j])
+        for row, weight in self.pre[j].items():
+            value = entries.get(row, 0) - weight
+            if value:
+                entries[row] = value
+            else:
+                entries.pop(row, None)
+        return entries
+
+    def columns(self) -> list[dict[int, int]]:
+        """All columns of ``C``, in transition order."""
+        return [self.column(j) for j in range(len(self.transitions))]
+
+    def rows(self) -> list[dict[int, int]]:
+        """All rows of ``C`` (sparse ``{column: entry}``), in place order."""
+        out: list[dict[int, int]] = [{} for _ in self.places]
+        for j in range(len(self.transitions)):
+            for row, value in self.column(j).items():
+                out[row][j] = value
+        return out
+
+    def entry(self, place: str, transition: str) -> int:
+        """One entry ``C[place][transition]``."""
+        j = self.transition_index[transition]
+        row = self.place_index[place]
+        return self.post[j].get(row, 0) - self.pre[j].get(row, 0)
+
+    # ------------------------------------------------------------------
+    def pre_set(self, j: int) -> frozenset[int]:
+        """Input places of transition ``j`` (as row indices)."""
+        return frozenset(self.pre[j])
+
+    def post_set(self, j: int) -> frozenset[int]:
+        """Output places of transition ``j`` (as row indices)."""
+        return frozenset(self.post[j])
+
+    def is_ordinary(self) -> bool:
+        """True when every arc has weight 1 (no repeated input/output)."""
+        return all(w == 1
+                   for column in (*self.pre, *self.post)
+                   for w in column.values())
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return (f"IncidenceMatrix({len(self.places)} places x "
+                f"{len(self.transitions)} transitions)")

@@ -1,0 +1,127 @@
+"""Minimal siphons, maximal traps and the siphon–trap deadlock test.
+
+A *siphon* is a place set ``S`` such that every transition producing
+into ``S`` also consumes from ``S`` — once ``S`` is token-free it stays
+token-free.  A *trap* is the dual: every transition consuming from a
+trap also produces into it, so a marked trap can never be fully
+emptied.  The two meet in the classic deadlock argument: at any dead
+marking the set of unmarked places is a siphon, so if every siphon
+contains an initially-marked trap, no dead marking is reachable
+(Commoner's sufficient condition, quantified over *minimal* siphons —
+every siphon contains a minimal one, and a trap keeps being a trap in
+any superset).
+
+Enumeration of minimal siphons is worst-case exponential, so the search
+is a bounded DFS: siphons are generated grouped by their smallest
+member (smaller places are excluded from the branch, so no siphon is
+produced twice), each unsatisfied transition branches over which of its
+input places joins the set, and a node/result cap turns overflow into
+an explicit *incomplete* flag instead of a stall.
+"""
+
+from __future__ import annotations
+
+from .incidence import IncidenceMatrix
+
+#: Default cap on DFS nodes across the whole enumeration.
+DEFAULT_MAX_NODES = 20_000
+
+#: Default cap on collected candidate siphons.
+DEFAULT_MAX_SIPHONS = 256
+
+
+def maximal_trap(matrix: IncidenceMatrix,
+                 subset: frozenset[int]) -> frozenset[int]:
+    """The largest trap contained in ``subset`` (possibly empty).
+
+    Standard fixpoint: repeatedly remove any place consumed by a
+    transition that produces nothing back into the candidate set.
+    """
+    trap = set(subset)
+    changed = True
+    while changed and trap:
+        changed = False
+        for j in range(len(matrix.transitions)):
+            consumed = matrix.pre_set(j) & trap
+            if consumed and not (matrix.post_set(j) & trap):
+                trap -= consumed
+                changed = True
+    return frozenset(trap)
+
+
+def is_siphon(matrix: IncidenceMatrix, subset: frozenset[int]) -> bool:
+    """True when every transition producing into ``subset`` consumes
+    from it (the empty set counts, trivially)."""
+    for j in range(len(matrix.transitions)):
+        if matrix.post_set(j) & subset and not (matrix.pre_set(j) & subset):
+            return False
+    return True
+
+
+def is_trap(matrix: IncidenceMatrix, subset: frozenset[int]) -> bool:
+    """True when every transition consuming from ``subset`` produces
+    into it."""
+    for j in range(len(matrix.transitions)):
+        if matrix.pre_set(j) & subset and not (matrix.post_set(j) & subset):
+            return False
+    return True
+
+
+def minimal_siphons(matrix: IncidenceMatrix,
+                    max_nodes: int = DEFAULT_MAX_NODES,
+                    max_siphons: int = DEFAULT_MAX_SIPHONS
+                    ) -> tuple[list[frozenset[int]], bool]:
+    """Every minimal non-empty siphon of ``matrix`` (bounded search).
+
+    Returns:
+        ``(siphons, complete)``; when ``complete`` is False a cap fired
+        and the list is a (still genuine, still minimal-among-found)
+        subset of the minimal siphons.
+    """
+    n_transitions = len(matrix.transitions)
+    found: list[frozenset[int]] = []
+    nodes = 0
+    complete = True
+
+    def violation(current: frozenset[int]) -> frozenset[int] | None:
+        """Input places of the first transition breaking the siphon
+        condition for ``current`` (None when ``current`` is a siphon)."""
+        for j in range(n_transitions):
+            if (matrix.post_set(j) & current
+                    and not (matrix.pre_set(j) & current)):
+                return matrix.pre_set(j)
+        return None
+
+    def search(current: frozenset[int], floor: int) -> None:
+        """Grow ``current`` into siphons whose members are all >= floor
+        except for the seeds already chosen."""
+        nonlocal nodes, complete
+        if not complete:
+            return
+        nodes += 1
+        if nodes > max_nodes or len(found) > max_siphons:
+            complete = False
+            return
+        candidates = violation(current)
+        if candidates is None:
+            found.append(current)
+            return
+        for place in sorted(candidates):
+            if place in current:
+                continue  # cannot happen for a violated transition
+            if place < floor:
+                continue  # a smaller-seed branch owns that siphon
+            search(current | {place}, floor)
+
+    for seed in range(len(matrix.places)):
+        search(frozenset({seed}), seed)
+        if not complete:
+            break
+
+    # Keep only the minimal sets among those found.
+    found.sort(key=lambda s: (len(s), sorted(s)))
+    minimal: list[frozenset[int]] = []
+    for siphon in found:
+        if not any(kept < siphon or kept == siphon for kept in minimal):
+            minimal.append(siphon)
+    return minimal, complete

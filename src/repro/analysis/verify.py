@@ -6,6 +6,12 @@ point and packages the underlying analysis objects into an
 narrow boolean the synthesis kernel consults when
 ``SynthesisParams(verify_mergers=True)`` is set.
 
+The result also carries the two-tier safety/deadlock verdicts
+(:mod:`repro.analysis.tiers`): the structural certificate is always
+computed, and the enumerative fallback reuses the reachability graph
+the MHP analysis already built — a full ``analyze_design`` performs at
+most one BFS.
+
 Lint is imported inside the functions: the analysis core must stay
 importable from the lint rule module without a cycle.
 """
@@ -16,12 +22,22 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING, Optional
 
 from ..errors import ReproError
+from ..runtime.budget import Budget
 from .equivalence import EquivalenceCertificate
 from .races import ConcurrencyAnalysis
 from .reach_graph import DEFAULT_MAX_MARKINGS
+from .structural import StructuralCertificate
+from .tiers import Tier, TierDecision, TieredAnalysis
 
 if TYPE_CHECKING:  # pragma: no cover - type-only import, avoids a cycle
     from ..lint.diagnostic import Diagnostic, LintReport
+
+#: CLI tier names -> :class:`~repro.analysis.tiers.Tier` pin.
+TIER_NAMES: dict[str, Optional[Tier]] = {
+    "auto": None,
+    "structural": Tier.STRUCTURAL,
+    "enumerative": Tier.ENUMERATIVE,
+}
 
 
 @dataclass
@@ -35,17 +51,26 @@ class AnalysisResult:
             control net could not be explored.
         certificate: the symbolic equivalence certificate, or None when
             the design is not certifiable (incomplete schedule/binding).
+        structural: the structural certificate of the control part, or
+            None when no net could be derived.
+        safe: the tiered safety decision (which tier proved it), or
+            None when no net could be derived.
+        deadlock_free: the tiered deadlock-freedom decision, likewise.
     """
 
     name: str
     report: "LintReport"
     concurrency: Optional[ConcurrencyAnalysis] = None
     certificate: Optional[EquivalenceCertificate] = None
+    structural: Optional[StructuralCertificate] = None
+    safe: Optional[TierDecision] = None
+    deadlock_free: Optional[TierDecision] = None
 
     @property
     def markings(self) -> int:
-        """Distinct reachable markings of the control part (0 if unknown)."""
-        if self.concurrency is None:
+        """Distinct reachable markings of the control part (0 if unknown
+        or when the structural tier answered without enumerating)."""
+        if self.concurrency is None or self.concurrency.mhp.graph is None:
             return 0
         return len(self.concurrency.mhp.graph)
 
@@ -84,13 +109,21 @@ class AnalysisResult:
 
 
 def analyze_design(design,
-                   max_markings: int = DEFAULT_MAX_MARKINGS
-                   ) -> AnalysisResult:
+                   max_markings: int = DEFAULT_MAX_MARKINGS,
+                   budget: Optional[Budget] = None,
+                   tier: str = "auto") -> AnalysisResult:
     """Run the full concurrency + equivalence analysis on a design.
 
     Args:
         design: a :class:`repro.etpn.design.Design` point.
         max_markings: bound on reachability-graph construction.
+        budget: cooperative budget for the enumerative parts; when it
+            drains the MHP relation degrades to the sound structural
+            over-approximation and the tiered verdicts report
+            ``inconclusive`` instead of truncated answers.
+        tier: ``"auto"`` (structure first, enumerate when needed),
+            ``"structural"`` (never enumerate) or ``"enumerative"``
+            (classic exhaustive analysis).
 
     The analysis itself never raises on a bad design — every problem
     becomes a diagnostic in ``result.report`` (derivation failures are
@@ -100,14 +133,35 @@ def analyze_design(design,
     from ..lint.runner import run_analysis_layer
     from ..lint.rules_analysis import cached_concurrency, cached_certificate
 
+    if tier not in TIER_NAMES:
+        raise ValueError(f"unknown analysis tier {tier!r}")
     ctx = LintContext(name=design.dfg.name, dfg=design.dfg,
                       steps=design.steps, binding=design.binding,
                       net=design.control_net)
     ctx.cache["analysis.max_markings"] = max_markings
+    ctx.cache["analysis.budget"] = budget
+    ctx.cache["analysis.tier"] = tier
     report = run_analysis_layer(ctx)
+    concurrency = cached_concurrency(ctx)
+    structural = None
+    safe = None
+    deadlock_free = None
+    net = design.control_net
+    if net is not None:
+        # Reuse the graph the MHP analysis built (None in the
+        # structural tier) — at most one BFS per analyze_design call.
+        graph = concurrency.mhp.graph if concurrency is not None else None
+        tiered = TieredAnalysis(net, max_markings=max_markings,
+                                budget=budget,
+                                force_tier=TIER_NAMES[tier], graph=graph)
+        structural = tiered.certificate
+        safe = tiered.safe
+        deadlock_free = tiered.deadlock_free
     return AnalysisResult(name=design.dfg.name, report=report,
-                          concurrency=cached_concurrency(ctx),
-                          certificate=cached_certificate(ctx))
+                          concurrency=concurrency,
+                          certificate=cached_certificate(ctx),
+                          structural=structural, safe=safe,
+                          deadlock_free=deadlock_free)
 
 
 def merger_preserves_semantics(design, max_markings: int = 20_000) -> bool:

@@ -11,6 +11,9 @@ Examples::
     repro-hlts lint diffeq my.hdl --strict --format json
     repro-hlts analyze                # MHP races + equivalence certificates
     repro-hlts analyze ewf --flow default --format json
+    repro-hlts analyze --structural   # invariant certificates only, no BFS
+    repro-hlts analyze --cross-check  # assert both tiers agree
+    repro-hlts bench-analysis         # time structural vs enumerative
 """
 
 from __future__ import annotations
@@ -172,17 +175,14 @@ def _lint_command(args) -> int:
     return 0 if all_ok else 1
 
 
-def _analyze_command(args) -> int:
-    """The ``analyze`` subcommand: MHP races + equivalence certificates."""
-    from .analysis import analyze_design
-    from .analysis.reach_graph import DEFAULT_MAX_MARKINGS
+def _analyze_resolve_designs(args):
+    """Yield ``(target, design)`` for every analyze target, or an exit
+    code when a target cannot be resolved/compiled."""
     from .errors import ReproError
     from .etpn.from_dfg import default_design
 
-    max_markings = args.max_markings or DEFAULT_MAX_MARKINGS
     targets = args.targets or list(names())
-    results = []
-    all_ok = True
+    resolved = []
     for target in targets:
         try:
             dfg = _lint_resolve(target)
@@ -200,10 +200,108 @@ def _analyze_command(args) -> int:
         else:
             design = run_ours(dfg,
                               cost_model=CostModel(bits=args.bits)).design
-        result = analyze_design(design, max_markings=max_markings)
+        resolved.append((target, design))
+    return resolved
+
+
+def _structural_command(args) -> int:
+    """``analyze --structural``: certificate-only fast mode, no BFS."""
+    from .analysis import Verdict, structural_certificate
+
+    resolved = _analyze_resolve_designs(args)
+    if isinstance(resolved, int):
+        return resolved
+    results = []
+    all_ok = True
+    for target, design in resolved:
+        cert = structural_certificate(design.control_net)
+        problems = cert.check(design.control_net)
+        refuted = [name for name, verdict in
+                   (("safe", cert.safe), ("bounded", cert.bounded),
+                    ("deadlock_free", cert.deadlock_free))
+                   if verdict is Verdict.REFUTED]
+        ok = not problems and not refuted
+        all_ok = all_ok and ok
+        results.append((target, cert, problems, refuted, ok))
+
+    if args.fmt == "json":
+        import json
+        print(json.dumps({
+            "targets": [
+                {"name": t, "ok": ok, "refuted": refuted,
+                 "check_problems": problems, **cert.to_dict()}
+                for t, cert, problems, refuted, ok in results],
+            "flow": args.flow,
+            "mode": "structural",
+            "ok": all_ok,
+        }, indent=2))
+    else:
+        for target, cert, problems, refuted, ok in results:
+            status = "ok" if ok else "FAIL"
+            print(f"== {cert.summary()} [{status}]")
+            if args.verbose:
+                for inv in cert.p_invariants:
+                    print(f"   P-invariant: {inv}")
+                for inv in cert.t_invariants:
+                    print(f"   T-invariant: {inv}")
+            for name in refuted:
+                print(f"   REFUTED: {name}")
+            for problem in problems:
+                print(f"   CHECK: {problem}")
+    return 0 if all_ok else 1
+
+
+def _cross_check_command(args) -> int:
+    """``analyze --cross-check``: assert the two tiers agree."""
+    from .analysis import cross_check
+    from .analysis.reach_graph import DEFAULT_MAX_MARKINGS
+
+    max_markings = args.max_markings or DEFAULT_MAX_MARKINGS
+    resolved = _analyze_resolve_designs(args)
+    if isinstance(resolved, int):
+        return resolved
+    mismatches = []
+    for target, design in resolved:
+        found = cross_check(design.control_net, max_markings=max_markings)
+        verdict = "agree" if not found else "MISMATCH"
+        print(f"== {target}: structural vs enumerative: {verdict}")
+        for line in found:
+            print(f"   {line}")
+        mismatches.extend(found)
+    total = "all tiers agree" if not mismatches else \
+        f"{len(mismatches)} disagreement(s)"
+    print(f"cross-check: {len(resolved)} design(s), {total}")
+    return 0 if not mismatches else 1
+
+
+def _analyze_command(args) -> int:
+    """The ``analyze`` subcommand: MHP races + equivalence certificates."""
+    from .analysis import analyze_design
+    from .analysis.reach_graph import DEFAULT_MAX_MARKINGS
+
+    if args.structural:
+        return _structural_command(args)
+    if args.cross_check:
+        return _cross_check_command(args)
+
+    max_markings = args.max_markings or DEFAULT_MAX_MARKINGS
+    resolved = _analyze_resolve_designs(args)
+    if isinstance(resolved, int):
+        return resolved
+    results = []
+    all_ok = True
+    for target, design in resolved:
+        result = analyze_design(design, max_markings=max_markings,
+                                tier=args.tier)
         ok = result.report.ok(strict=args.strict) and result.verified
         all_ok = all_ok and ok
         results.append((target, result, ok))
+
+    def _decision(decision):
+        if decision is None:
+            return None
+        return {"value": decision.value, "tier": str(decision.tier),
+                "detail": decision.detail}
 
     if args.fmt == "json":
         import json
@@ -214,9 +312,14 @@ def _analyze_command(args) -> int:
                  "races": len(r.races),
                  "certificate": (r.certificate.to_dict()
                                  if r.certificate else None),
+                 "structural": (r.structural.to_dict()
+                                if r.structural else None),
+                 "safe": _decision(r.safe),
+                 "deadlock_free": _decision(r.deadlock_free),
                  **r.report.to_dict()}
                 for t, r, ok in results],
             "flow": args.flow,
+            "tier": args.tier,
             "strict": args.strict,
             "ok": all_ok,
         }, indent=2))
@@ -224,6 +327,8 @@ def _analyze_command(args) -> int:
         for target, result, ok in results:
             status = "ok" if ok else "FAIL"
             print(f"== {result.summary()} [{status}]")
+            if result.safe is not None:
+                print(f"   {result.safe}; {result.deadlock_free}")
             for diag in result.report.sorted():
                 print(f"   {diag.format()}")
             if result.certificate is not None and args.verbose:
@@ -336,8 +441,32 @@ def main(argv: list[str] | None = None) -> int:
                    help="treat warnings as failures for the exit status")
     p.add_argument("--max-markings", type=int, default=None,
                    help="bound on the reachability-graph exploration")
+    p.add_argument("--structural", action="store_true",
+                   help="fast mode: print only the structural "
+                        "certificates (invariants, siphons, verdicts); "
+                        "never enumerates the state space")
+    p.add_argument("--tier", choices=["auto", "structural", "enumerative"],
+                   default="auto",
+                   help="which analysis tier decides safety/deadlock "
+                        "verdicts (default: auto = structure first, "
+                        "enumerate only when inconclusive)")
+    p.add_argument("--cross-check", action="store_true",
+                   help="run both tiers to completion and fail on any "
+                        "disagreement between structural and "
+                        "enumerative verdicts")
     p.add_argument("-v", "--verbose", action="store_true",
                    help="also print the per-output certificate expressions")
+
+    p = sub.add_parser(
+        "bench-analysis",
+        help="time structural certificates vs reachability BFS and "
+             "write BENCH_analysis.json")
+    p.add_argument("--bits", type=int, nargs="+", default=[4, 8],
+                   help="data-path widths to benchmark (default: 4 8)")
+    p.add_argument("--repeats", type=int, default=3,
+                   help="timing repeats; the minimum is recorded")
+    p.add_argument("--output", default="BENCH_analysis.json",
+                   help="output path (default: BENCH_analysis.json)")
 
     args = parser.parse_args(argv)
 
@@ -421,6 +550,17 @@ def _dispatch(args, parser: argparse.ArgumentParser) -> int:
         return _lint_command(args)
     if args.command == "analyze":
         return _analyze_command(args)
+    if args.command == "bench-analysis":
+        from .harness.bench_analysis import run_bench_analysis
+        report = run_bench_analysis(bits=args.bits, repeats=args.repeats,
+                                    output=args.output,
+                                    progress=lambda msg: print(
+                                        msg, file=sys.stderr))
+        print(f"wrote {args.output}: {report['cells_total']} cells, "
+              f"structural faster on "
+              f"{report['structural_faster']}/{report['cells_total']}")
+        return 0 if report["structural_faster"] == report["cells_total"] \
+            else 1
     parser.error(f"unknown command {args.command!r}")
     return 2
 

@@ -13,8 +13,8 @@ Layers and code prefixes::
 
     DFG  data-flow graph          SCH  schedule       BND  binding
     NET  control Petri net        GAT  gate netlist   TST  testability
-    RAC  concurrency races        EQV  value-flow equivalence
-    LNT  pipeline-stage failure
+    STR  structural invariants    RAC  concurrency races
+    EQV  value-flow equivalence   LNT  pipeline-stage failure
 
 See ``repro-hlts lint --list-rules`` or DESIGN.md for the full table.
 """
@@ -25,7 +25,7 @@ from .registry import (LAYERS, LintContext, Rule, all_rules, get_rule, rule,
 from .runner import (PIPELINE_FAILURE_CODE, lint_analysis, lint_binding,
                      lint_datapath, lint_design, lint_dfg, lint_netlist,
                      lint_petri, lint_pipeline, lint_schedule,
-                     run_analysis_layer)
+                     lint_structural, run_analysis_layer)
 
 __all__ = [
     "Diagnostic", "LintReport", "Severity",
@@ -33,5 +33,6 @@ __all__ = [
     "rules_for_layer", "run_layer",
     "PIPELINE_FAILURE_CODE", "lint_analysis", "lint_binding",
     "lint_datapath", "lint_design", "lint_dfg", "lint_netlist", "lint_petri",
-    "lint_pipeline", "lint_schedule", "run_analysis_layer",
+    "lint_pipeline", "lint_schedule", "lint_structural",
+    "run_analysis_layer",
 ]

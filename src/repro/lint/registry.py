@@ -8,9 +8,10 @@ needs from the :class:`LintContext` and reports findings through
 builds the context for each layer and collects every emission into a
 :class:`~repro.lint.diagnostic.LintReport`.
 
-Codes are stable and unique: ``DFG``/``SCH``/``BND``/``NET``/``GAT``/
-``TST`` prefixes map to the dfg, schedule, binding, Petri-net, gate and
-testability layers (see DESIGN.md for the full table).
+Codes are stable and unique: ``DFG``/``SCH``/``BND``/``NET``/``STR``/
+``GAT``/``TST`` prefixes map to the dfg, schedule, binding, Petri-net,
+structural-invariant, gate and testability layers (see DESIGN.md for
+the full table).
 """
 
 from __future__ import annotations
@@ -21,8 +22,8 @@ from typing import Any, Callable, Optional
 from .diagnostic import Diagnostic, LintReport, Severity
 
 #: The checkable layers, in pipeline order.
-LAYERS = ("dfg", "sched", "binding", "petri", "analysis", "gates",
-          "testability")
+LAYERS = ("dfg", "sched", "binding", "petri", "structural", "analysis",
+          "gates", "testability")
 
 
 @dataclass
@@ -165,4 +166,5 @@ def _load_builtin_rules() -> None:
     from . import rules_gates  # noqa: F401
     from . import rules_petri  # noqa: F401
     from . import rules_sched  # noqa: F401
+    from . import rules_structural  # noqa: F401
     from . import rules_testability  # noqa: F401

@@ -28,6 +28,13 @@ from .registry import Emit, LintContext, rule
 #: ``ctx.cache`` key holding the reachability bound (int).
 MAX_MARKINGS_KEY = "analysis.max_markings"
 
+#: ``ctx.cache`` key holding the shared :class:`~repro.runtime.budget.Budget`.
+BUDGET_KEY = "analysis.budget"
+
+#: ``ctx.cache`` key holding the MHP tier name (``auto``/``structural``/
+#: ``enumerative``).
+TIER_KEY = "analysis.tier"
+
 
 def _max_markings(ctx: LintContext) -> int:
     return int(ctx.cache.get(MAX_MARKINGS_KEY, DEFAULT_MAX_MARKINGS))
@@ -45,7 +52,9 @@ def cached_concurrency(ctx: LintContext) -> Optional[ConcurrencyAnalysis]:
                 result = ConcurrencyAnalysis(
                     ctx.dfg, ctx.steps, ctx.binding, net=ctx.net,
                     placement=ctx.placement,
-                    max_markings=_max_markings(ctx))
+                    max_markings=_max_markings(ctx),
+                    budget=ctx.cache.get(BUDGET_KEY),
+                    tier=ctx.cache.get(TIER_KEY, "auto"))
             except Exception as exc:
                 error = str(exc)
         ctx.cache["analysis.concurrency"] = result

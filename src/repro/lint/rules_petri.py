@@ -116,12 +116,22 @@ def check_safe(ctx: LintContext, emit: Emit) -> None:
     """ETPN control parts must be *safe*: no reachable firing may put a
     second token into a place.  A warning (not an error) because the
     raise-style validators run this lint layer — an error would make an
-    unsafe net unconstructible and hence unreportable."""
+    unsafe net unconstructible and hence unreportable.
+
+    Two-tier: when the structural certificate (shared with the
+    ``STR00x`` rules through ``ctx.cache``) already *proves* safety,
+    the reachability BFS is skipped entirely — a proved-safe net has no
+    unsafe firing to report, so the tiers can never disagree here."""
     from ..analysis.reach_graph import ReachabilityGraph
+    from ..analysis.structural import Verdict
     from ..errors import PetriNetError
+    from .rules_structural import cached_structural
     net = ctx.net
     if not net.initial_marking:
         return  # NET002 already fired
+    cert = cached_structural(ctx)
+    if cert is not None and cert.safe is Verdict.PROVED:
+        return  # structural tier decided; no enumeration needed
     try:
         graph = ReachabilityGraph(net, max_markings=SAFENESS_MAX_MARKINGS)
     except PetriNetError:

@@ -1,0 +1,148 @@
+"""Structural-invariant-layer design rules (codes ``STR001``-``STR006``).
+
+The structural layer audits the control net with the enumeration-free
+engines of :mod:`repro.analysis.structural`: P/T-invariants by Farkas
+elimination and siphon/trap structure.  Where the ``NET`` rules reason
+over the token-flow closure (and ``NET007`` over the full reachability
+graph), these rules reason over linear algebra — they stay polynomial
+on nets whose state space explodes, and the findings carry checkable
+witnesses (the invariant or siphon that proves the problem).
+
+The certificate is computed once per :class:`~repro.lint.registry.LintContext`
+and memoised in ``ctx.cache`` under :data:`CERTIFICATE_KEY`; ``NET007``
+consults the same cache entry to skip its reachability BFS whenever the
+structural tier already proves safety, so running both layers on one
+shared context never enumerates a provably-safe state space.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..analysis.structural import StructuralCertificate, Verdict, \
+    structural_certificate
+from .diagnostic import Severity
+from .registry import Emit, LintContext, rule
+
+#: ``ctx.cache`` key holding the memoised structural certificate.
+CERTIFICATE_KEY = "structural.certificate"
+
+#: At most this many findings per multi-witness rule, to keep a broken
+#: net's report readable.
+MAX_FINDINGS = 8
+
+
+def cached_structural(ctx: LintContext) -> Optional[StructuralCertificate]:
+    """The context's memoised structural certificate (None when the
+    context has no net or the net is degenerate)."""
+    if CERTIFICATE_KEY not in ctx.cache:
+        result: Optional[StructuralCertificate] = None
+        if ctx.net is not None and ctx.net.places \
+                and ctx.net.initial_marking:
+            try:
+                result = structural_certificate(ctx.net)
+            except Exception:  # degenerate nets are NET001/NET002 findings
+                result = None
+        ctx.cache[CERTIFICATE_KEY] = result
+    return ctx.cache[CERTIFICATE_KEY]
+
+
+@rule("STR001", layer="structural", severity=Severity.WARNING,
+      title="place without safety proof")
+def check_covered(ctx: LintContext, emit: Emit) -> None:
+    """A reachable place not covered by any 1-token P-invariant has no
+    structural safety proof (its token count is unconstrained)."""
+    cert = cached_structural(ctx)
+    if cert is None or cert.safe is not Verdict.INCONCLUSIVE:
+        return  # proved safe, or no certificate at all
+    if not cert.unit_invariants:
+        return  # STR003 reports the total absence once, not per place
+    for place in cert.uncovered_places[:MAX_FINDINGS]:
+        emit(f"{cert.net_name}: place {place!r} is not covered by any "
+             f"1-token P-invariant; its safeness is structurally unproven",
+             location=place,
+             hint="the enumerative tier (NET007) still audits it; add a "
+                  "complementary place to close the invariant")
+
+
+@rule("STR002", layer="structural", severity=Severity.WARNING,
+      title="net not conservative")
+def check_conservative(ctx: LintContext, emit: Emit) -> None:
+    """Token count is not conserved: some place lies outside every
+    P-invariant, so tokens can be created or lost along its paths."""
+    cert = cached_structural(ctx)
+    if cert is None or cert.conservative is not Verdict.REFUTED:
+        return
+    outside = [p for p in cert.places
+               if not any(inv.weight(p) for inv in cert.p_invariants)]
+    emit(f"{cert.net_name}: not conservative — "
+         f"{len(outside)} place(s) outside every P-invariant "
+         f"(e.g. {outside[:4]})",
+         location=outside[0] if outside else "",
+         hint="fork/join mismatches show up as non-conserved tokens")
+
+
+@rule("STR003", layer="structural", severity=Severity.WARNING,
+      title="no invariant cover")
+def check_any_cover(ctx: LintContext, emit: Emit) -> None:
+    """The net has no 1-token P-invariant at all: the structural tier
+    can prove nothing about safeness and everything falls back to
+    enumeration."""
+    cert = cached_structural(ctx)
+    if cert is None or cert.unit_invariants or not cert.p_complete:
+        return  # an incomplete elimination may simply have missed them
+    if cert.safe is Verdict.PROVED:
+        return  # trivially safe (e.g. nothing reachable beyond M0)
+    emit(f"{cert.net_name}: no 1-token P-invariant exists; structural "
+         f"safety analysis is powerless on this net",
+         hint="every verdict will be decided by the enumerative tier")
+
+
+@rule("STR004", layer="structural", severity=Severity.WARNING,
+      title="invariant-dead transition")
+def check_invariant_dead(ctx: LintContext, emit: Emit) -> None:
+    """A transition demands more tokens from an invariant than the
+    invariant conserves — it can never fire, even though every input
+    place is individually reachable (beyond ``NET004``'s closure)."""
+    cert = cached_structural(ctx)
+    if cert is None:
+        return
+    for trans_id in cert.invariant_dead[:MAX_FINDINGS]:
+        emit(f"{cert.net_name}: transition {trans_id!r} is dead by "
+             f"invariant arithmetic: it needs more tokens than any "
+             f"reachable marking can place on its inputs",
+             location=trans_id,
+             hint="its input places are mutually exclusive; the join can "
+                  "never be supplied")
+
+
+@rule("STR005", layer="structural", severity=Severity.WARNING,
+      title="uncontrolled siphon")
+def check_siphons(ctx: LintContext, emit: Emit) -> None:
+    """A siphon without an initially-marked trap may drain and then
+    starve every transition consuming from it (deadlock risk)."""
+    cert = cached_structural(ctx)
+    if cert is None or cert.deadlock_free is not Verdict.INCONCLUSIVE:
+        return  # proved or refuted: nothing *structural* left to flag
+    for siphon in cert.uncontrolled_siphons[:MAX_FINDINGS]:
+        shown = sorted(siphon)
+        emit(f"{cert.net_name}: siphon {shown} contains no "
+             f"initially-marked trap; once drained it never refills",
+             location=shown[0] if shown else "",
+             hint="a marking that empties this siphon is stuck; the "
+                  "enumerative tier decides whether one is reachable")
+
+
+@rule("STR006", layer="structural", severity=Severity.ERROR,
+      title="certificate self-check failure")
+def check_certificate(ctx: LintContext, emit: Emit) -> None:
+    """The certificate's own witnesses fail independent re-verification
+    — an internal engine bug, never a property of the design."""
+    cert = cached_structural(ctx)
+    if cert is None or ctx.net is None:
+        return
+    for problem in cert.check(ctx.net)[:MAX_FINDINGS]:
+        emit(f"{cert.net_name}: structural certificate is unsound: "
+             f"{problem}",
+             hint="report this; the invariant engine produced a witness "
+                  "that does not verify")

@@ -3,8 +3,8 @@
 Entry points by granularity:
 
 * :func:`lint_dfg`, :func:`lint_schedule`, :func:`lint_binding`,
-  :func:`lint_petri`, :func:`lint_netlist`, :func:`lint_datapath` —
-  audit one intermediate representation;
+  :func:`lint_petri`, :func:`lint_structural`, :func:`lint_netlist`,
+  :func:`lint_datapath` — audit one intermediate representation;
 * :func:`lint_design` — audit a bound, scheduled ETPN design point
   (schedule + binding + control net + testability smells);
 * :func:`lint_pipeline` — audit everything derivable from a DFG:
@@ -54,8 +54,18 @@ def lint_binding(dfg, steps: dict[str, int], binding) -> LintReport:
 
 
 def lint_petri(net) -> LintReport:
-    """Run every Petri-net-layer rule over ``net``."""
+    """Run every Petri-net-layer rule over ``net``.
+
+    The context is fresh, so ``NET007`` computes (and caches) the
+    structural certificate itself before deciding whether a
+    reachability audit is needed.
+    """
     return run_layer("petri", LintContext(name=net.name, net=net))
+
+
+def lint_structural(net) -> LintReport:
+    """Run every structural-layer rule (``STR00x``) over ``net``."""
+    return run_layer("structural", LintContext(name=net.name, net=net))
 
 
 def lint_netlist(netlist) -> LintReport:
@@ -123,13 +133,21 @@ def lint_design(design, depth_limit: float = 8.0) -> LintReport:
     dfg = design.dfg
     report = lint_schedule(dfg, design.steps)
     report.extend(lint_binding(dfg, design.steps, design.binding))
+    # One shared context for the net-inspecting layers: the structural
+    # certificate is computed once and NET007 reuses it to skip its
+    # reachability BFS on provably-safe nets.
+    shared = LintContext(name=dfg.name, dfg=dfg, steps=design.steps,
+                         binding=design.binding, net=design.control_net)
     try:
-        report.extend(lint_petri(design.control_net))
+        report.extend(run_layer("petri", shared))
     except Exception as exc:
         report.add(_pipeline_failure(dfg.name, "control net", exc))
     try:
-        report.extend(lint_analysis(dfg, design.steps, design.binding,
-                                    net=design.control_net))
+        report.extend(run_layer("structural", shared))
+    except Exception as exc:
+        report.add(_pipeline_failure(dfg.name, "structural analysis", exc))
+    try:
+        report.extend(run_analysis_layer(shared))
     except Exception as exc:
         report.add(_pipeline_failure(dfg.name, "concurrency analysis", exc))
     try:

@@ -1,0 +1,192 @@
+"""Tests for StructuralCertificate: verdicts, witnesses, self-check.
+
+The hypothesis section is the heart of the tentpole's soundness story:
+on randomly generated small nets, every *decided* structural verdict
+must agree with exhaustive enumeration, and every certificate must pass
+its own independent re-verification.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import (ReachabilityGraph, Verdict, stuck_markings,
+                            structural_certificate)
+from repro.bench import load, names
+from repro.etpn.from_dfg import default_design
+from repro.harness.experiment import synthesize_flow
+from repro.petri.net import PetriNet
+
+
+def chain_net(length: int = 4) -> PetriNet:
+    net = PetriNet("chain")
+    for i in range(length):
+        net.add_place(f"S{i}")
+    for i in range(length - 1):
+        net.add_transition(f"t{i}", [f"S{i}"], [f"S{i + 1}"])
+    net.set_initial("S0")
+    net.set_final(f"S{length - 1}")
+    return net
+
+
+def fork_join_net() -> PetriNet:
+    net = PetriNet("fj")
+    for p in ("S0", "A0", "A1", "B0", "B1", "J"):
+        net.add_place(p)
+    net.add_transition("fork", ["S0"], ["A0", "B0"])
+    net.add_transition("ta", ["A0"], ["A1"])
+    net.add_transition("tb", ["B0"], ["B1"])
+    net.add_transition("join", ["A1", "B1"], ["J"])
+    net.set_initial("S0")
+    net.set_final("J")
+    return net
+
+
+def unsafe_net() -> PetriNet:
+    """tu marks B while B may already be marked: not safe."""
+    net = PetriNet("unsafe")
+    for p in ("S0", "A", "B"):
+        net.add_place(p)
+    net.add_transition("tfork", ["S0"], ["A", "B"])
+    net.add_transition("tu", ["A"], ["B"])
+    net.set_initial("S0")
+    net.set_final("B")
+    return net
+
+
+def stuck_net() -> PetriNet:
+    """The join can never be supplied: a reachable stuck marking."""
+    net = PetriNet("stuck")
+    for p in ("S0", "A", "B", "J"):
+        net.add_place(p)
+    net.add_transition("ta", ["S0"], ["A"])
+    net.add_transition("tb", ["S0"], ["B"])
+    net.add_transition("join", ["A", "B"], ["J"])
+    net.set_initial("S0")
+    net.set_final("J")
+    return net
+
+
+class TestVerdicts:
+    def test_chain_all_proved(self):
+        cert = structural_certificate(chain_net())
+        assert cert.safe is Verdict.PROVED
+        assert cert.bounded is Verdict.PROVED
+        assert cert.conservative is Verdict.PROVED
+        assert cert.deadlock_free is Verdict.PROVED
+        assert cert.dead_transitions == ()
+        assert cert.check(chain_net()) == []
+
+    def test_fork_join_proved_safe_and_live(self):
+        net = fork_join_net()
+        cert = structural_certificate(net)
+        assert cert.safe is Verdict.PROVED
+        assert cert.deadlock_free is Verdict.PROVED
+        assert cert.check(net) == []
+
+    def test_unsafe_net_not_proved_safe(self):
+        cert = structural_certificate(unsafe_net())
+        assert cert.safe is not Verdict.PROVED
+        assert "B" in cert.uncovered_places
+
+    def test_stuck_net_not_proved_deadlock_free(self):
+        net = stuck_net()
+        cert = structural_certificate(net)
+        assert cert.deadlock_free is not Verdict.PROVED
+        assert cert.uncontrolled_siphons
+        # The join is invariant-dead: its input places are exclusive.
+        assert "join" in cert.invariant_dead
+        assert "join" in cert.dead_transitions
+
+    def test_mutual_exclusion(self):
+        cert = structural_certificate(fork_join_net())
+        assert cert.mutually_exclusive("A0", "A1")
+        assert cert.mutually_exclusive("S0", "J")
+        assert not cert.mutually_exclusive("A0", "B0")
+        assert not cert.mutually_exclusive("A0", "B1")
+
+    def test_bound_and_covers(self):
+        cert = structural_certificate(chain_net())
+        assert cert.covers("S0")
+        assert cert.bound("S0") == 1
+
+    def test_to_dict_is_deterministic(self):
+        net = fork_join_net()
+        assert structural_certificate(net).to_dict() \
+            == structural_certificate(net).to_dict()
+
+    def test_to_dict_excludes_timings(self):
+        cert = structural_certificate(chain_net())
+        assert "elapsed_seconds" not in cert.to_dict()
+        assert cert.elapsed_seconds >= 0.0
+
+    def test_check_rejects_foreign_net(self):
+        cert = structural_certificate(chain_net(3))
+        assert cert.check(fork_join_net()) != []
+
+
+class TestBenchmarks:
+    def test_every_benchmark_proved_both_flows(self):
+        for name in names():
+            for design in (default_design(load(name)),
+                           synthesize_flow(name, "ours", 8)):
+                net = design.control_net
+                cert = structural_certificate(net)
+                graph = ReachabilityGraph(net)
+                # Structural verdicts match enumeration exactly.
+                assert (cert.safe is Verdict.PROVED) == graph.is_safe(), name
+                assert (cert.deadlock_free is Verdict.PROVED) \
+                    == (not stuck_markings(net, graph)), name
+                assert cert.check(net) == [], name
+
+
+# ----------------------------------------------------------------------
+# Property-based soundness: random nets, structural vs enumerative.
+# ----------------------------------------------------------------------
+@st.composite
+def random_nets(draw):
+    """Small random nets: 2-6 places, 1-6 transitions of 1-2 in/outputs."""
+    n_places = draw(st.integers(2, 6))
+    places = [f"P{i}" for i in range(n_places)]
+    n_transitions = draw(st.integers(1, 6))
+    net = PetriNet("rand")
+    for p in places:
+        net.add_place(p)
+    place_subset = st.lists(st.sampled_from(places), min_size=1,
+                            max_size=2, unique=True)
+    for t in range(n_transitions):
+        net.add_transition(f"t{t}", draw(place_subset), draw(place_subset))
+    initial = draw(place_subset)
+    net.set_initial(*initial)
+    net.set_final(draw(st.sampled_from(places)))
+    return net
+
+
+@settings(max_examples=80, deadline=None)
+@given(random_nets())
+def test_structural_verdicts_sound_on_random_nets(net):
+    cert = structural_certificate(net)
+    assert cert.check(net) == [], "certificate must self-verify"
+    graph = ReachabilityGraph(net, max_markings=5000)
+
+    if cert.safe.decided:
+        assert (cert.safe is Verdict.PROVED) == graph.is_safe()
+    if cert.deadlock_free.decided:
+        enum_live = not stuck_markings(net, graph)
+        assert (cert.deadlock_free is Verdict.PROVED) == enum_live
+
+    fired = {edge.trans_id for edge in graph.edges}
+    assert not (set(cert.dead_transitions) & fired), \
+        "a proved-dead transition fired"
+
+    reached = set().union(*graph.markings) if graph.markings else set()
+    assert reached <= set(cert.structurally_reachable), \
+        "closure must over-approximate reachability"
+
+    for marking in graph.markings:
+        for p in marking:
+            for q in marking:
+                if p < q:
+                    assert not cert.mutually_exclusive(p, q), \
+                        f"proved-exclusive pair {p},{q} co-marked"

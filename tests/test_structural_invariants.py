@@ -1,0 +1,192 @@
+"""Tests for the incidence matrix and Farkas semiflow elimination."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.structural import (IncidenceMatrix, RESET_PREFIX,
+                                       is_siphon, is_trap, maximal_trap,
+                                       minimal_siphons, p_semiflows,
+                                       semiflows, t_semiflows)
+from repro.petri.net import PetriNet
+from repro.runtime.budget import Budget
+
+
+def chain_net(length: int = 4) -> PetriNet:
+    net = PetriNet("chain")
+    for i in range(length):
+        net.add_place(f"S{i}")
+    for i in range(length - 1):
+        net.add_transition(f"t{i}", [f"S{i}"], [f"S{i + 1}"])
+    net.set_initial("S0")
+    net.set_final(f"S{length - 1}")
+    return net
+
+
+def fork_join_net() -> PetriNet:
+    net = PetriNet("fj")
+    for p in ("S0", "A", "B", "J"):
+        net.add_place(p)
+    net.add_transition("fork", ["S0"], ["A", "B"])
+    net.add_transition("join", ["A", "B"], ["J"])
+    net.set_initial("S0")
+    net.set_final("J")
+    return net
+
+
+def loop_net() -> PetriNet:
+    net = PetriNet("loop")
+    for p in ("S0", "S1", "Pfinal"):
+        net.add_place(p)
+    net.add_transition("t0", ["S0"], ["S1"])
+    net.add_transition("redo", ["S1"], ["S0"])
+    net.add_transition("done", ["S1"], ["Pfinal"])
+    net.set_initial("S0")
+    net.set_final("Pfinal")
+    return net
+
+
+class TestIncidenceMatrix:
+    def test_deterministic_order(self):
+        m = IncidenceMatrix.of(fork_join_net())
+        assert m.places == ("A", "B", "J", "S0")
+        assert m.transitions == ("fork", "join")
+
+    def test_entries(self):
+        m = IncidenceMatrix.of(fork_join_net())
+        assert m.entry("S0", "fork") == -1
+        assert m.entry("A", "fork") == 1
+        assert m.entry("J", "fork") == 0
+
+    def test_pre_post_sets(self):
+        m = IncidenceMatrix.of(fork_join_net())
+        j = m.transition_index["join"]
+        assert m.pre_set(j) == {m.place_index["A"], m.place_index["B"]}
+        assert m.post_set(j) == {m.place_index["J"]}
+
+    def test_initial_marking(self):
+        m = IncidenceMatrix.of(chain_net())
+        assert m.initial == {m.place_index["S0"]: 1}
+
+    def test_closed_adds_reset_transitions(self):
+        net = chain_net(3)
+        m = IncidenceMatrix.of(net).closed(net.final_places)
+        resets = [t for t in m.transitions if t.startswith(RESET_PREFIX)]
+        assert len(resets) == 1
+        j = m.transition_index[resets[0]]
+        assert m.pre_set(j) == {m.place_index["S2"]}
+        assert m.post_set(j) == {m.place_index["S0"]}
+
+    def test_ordinary(self):
+        assert IncidenceMatrix.of(fork_join_net()).is_ordinary()
+
+
+class TestSemiflows:
+    def test_chain_p_invariant(self):
+        m = IncidenceMatrix.of(chain_net(4))
+        basis, complete = p_semiflows(m)
+        assert complete
+        assert len(basis) == 1
+        # All-ones vector: one token circulates through the chain.
+        assert basis[0] == {i: 1 for i in range(4)}
+
+    def test_chain_has_no_t_invariant(self):
+        basis, complete = t_semiflows(IncidenceMatrix.of(chain_net()))
+        assert complete and basis == []
+
+    def test_loop_t_invariant(self):
+        m = IncidenceMatrix.of(loop_net())
+        basis, complete = t_semiflows(m)
+        assert complete
+        assert len(basis) == 1
+        # t0 then redo returns to the initial marking.
+        expected = {m.transition_index["t0"]: 1,
+                    m.transition_index["redo"]: 1}
+        assert basis[0] == expected
+
+    def test_fork_join_branch_invariants(self):
+        m = IncidenceMatrix.of(fork_join_net())
+        basis, complete = p_semiflows(m)
+        assert complete and len(basis) == 2
+        # One minimal semiflow per branch: {S0, A, J} and {S0, B, J},
+        # each with unit weights (their sum is the weighted cover).
+        supports = {frozenset(m.places[i] for i in y) for y in basis}
+        assert supports == {frozenset({"S0", "A", "J"}),
+                            frozenset({"S0", "B", "J"})}
+        assert all(set(y.values()) == {1} for y in basis)
+
+    def test_semiflow_property_holds(self):
+        m = IncidenceMatrix.of(fork_join_net())
+        basis, _ = p_semiflows(m)
+        for y in basis:
+            for column in m.columns():
+                assert sum(y.get(i, 0) * w for i, w in column.items()) == 0
+
+    def test_row_cap_reports_incomplete(self):
+        m = IncidenceMatrix.of(fork_join_net())
+        _basis, complete = semiflows(m.columns(), len(m.places),
+                                     max_rows=1)
+        assert not complete
+
+    def test_budget_charges(self):
+        budget = Budget(max_steps=1)
+        m = IncidenceMatrix.of(chain_net(6))
+        _basis, complete = p_semiflows(m, budget=budget)
+        assert not complete
+        assert budget.exhausted
+
+
+class TestSiphonsTraps:
+    def test_whole_chain_is_siphon_and_trap(self):
+        m = IncidenceMatrix.of(chain_net(3))
+        everything = frozenset(range(3))
+        assert is_siphon(m, everything)
+        assert is_trap(m, everything)
+
+    def test_last_place_is_trap_not_siphon(self):
+        m = IncidenceMatrix.of(chain_net(3))
+        last = frozenset({m.place_index["S2"]})
+        assert is_trap(m, last)      # nothing consumes from S2
+        assert not is_siphon(m, last)  # t1 produces without consuming
+
+    def test_maximal_trap_of_chain_prefix(self):
+        m = IncidenceMatrix.of(chain_net(3))
+        # {S0, S1}: t1 consumes S1 producing only S2 -> S1 drops, then
+        # t0 consumes S0 producing only S1 -> S0 drops.
+        assert maximal_trap(m, frozenset({m.place_index["S0"],
+                                          m.place_index["S1"]})) \
+            == frozenset()
+
+    def test_minimal_siphons_of_closed_chain(self):
+        net = chain_net(3)
+        m = IncidenceMatrix.of(net).closed(net.final_places)
+        siphons, complete = minimal_siphons(m)
+        assert complete
+        assert siphons == [frozenset(range(3))]
+
+    def test_minimal_siphons_of_closed_fork_join(self):
+        net = fork_join_net()
+        m = IncidenceMatrix.of(net).closed(net.final_places)
+        siphons, complete = minimal_siphons(m)
+        assert complete
+        # One siphon per branch: {S0, A, J} and {S0, B, J}.
+        supports = {frozenset(m.places[i] for i in s) for s in siphons}
+        assert supports == {frozenset({"S0", "A", "J"}),
+                            frozenset({"S0", "B", "J"})}
+        for siphon in siphons:
+            assert is_siphon(m, siphon)
+
+    def test_node_cap_reports_incomplete(self):
+        net = fork_join_net()
+        m = IncidenceMatrix.of(net).closed(net.final_places)
+        _siphons, complete = minimal_siphons(m, max_nodes=1)
+        assert not complete
+
+    @pytest.mark.parametrize("length", [1, 2, 5, 9])
+    def test_found_siphons_are_minimal(self, length):
+        net = chain_net(length)
+        m = IncidenceMatrix.of(net).closed(net.final_places)
+        siphons, _ = minimal_siphons(m)
+        for a in siphons:
+            for b in siphons:
+                assert not (a < b), "non-minimal siphon kept"

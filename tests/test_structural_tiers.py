@@ -1,0 +1,190 @@
+"""Tests for the two-tier dispatch and the MHP structural fallback."""
+
+from __future__ import annotations
+
+from repro.analysis import (MHPAnalysis, Tier, TieredAnalysis, analyze_design,
+                            cross_check)
+from repro.analysis.races import ConcurrencyAnalysis
+from repro.bench import load
+from repro.etpn.from_dfg import default_design
+from repro.petri.net import PetriNet
+from repro.runtime.budget import Budget
+
+
+def fork_join_net(length: int = 5) -> PetriNet:
+    """Two parallel chains of ``length`` places between fork and join."""
+    net = PetriNet("fj")
+    net.add_place("S0")
+    net.add_place("J")
+    for i in range(length):
+        net.add_place(f"A{i}")
+        net.add_place(f"B{i}")
+    net.add_transition("fork", ["S0"], ["A0", "B0"])
+    for i in range(length - 1):
+        net.add_transition(f"ta{i}", [f"A{i}"], [f"A{i + 1}"])
+        net.add_transition(f"tb{i}", [f"B{i}"], [f"B{i + 1}"])
+    net.add_transition("join", [f"A{length - 1}", f"B{length - 1}"], ["J"])
+    net.set_initial("S0")
+    net.set_final("J")
+    return net
+
+
+def stuck_net() -> PetriNet:
+    net = PetriNet("stuck")
+    for p in ("S0", "A", "B", "J"):
+        net.add_place(p)
+    net.add_transition("ta", ["S0"], ["A"])
+    net.add_transition("tb", ["S0"], ["B"])
+    net.add_transition("join", ["A", "B"], ["J"])
+    net.set_initial("S0")
+    net.set_final("J")
+    return net
+
+
+class TestTieredAnalysis:
+    def test_structural_tier_decides_without_bfs(self):
+        tiered = TieredAnalysis(fork_join_net())
+        assert tiered.safe.value is True
+        assert tiered.safe.tier is Tier.STRUCTURAL
+        assert tiered.deadlock_free.value is True
+        assert tiered.deadlock_free.tier is Tier.STRUCTURAL
+        assert tiered.graph is None, "fast path must not enumerate"
+
+    def test_forced_enumerative_tier(self):
+        tiered = TieredAnalysis(fork_join_net(),
+                                force_tier=Tier.ENUMERATIVE)
+        assert tiered.safe.value is True
+        assert tiered.safe.tier is Tier.ENUMERATIVE
+        assert tiered.graph is not None
+
+    def test_forced_structural_tier_never_builds_graph(self):
+        tiered = TieredAnalysis(stuck_net(), force_tier=Tier.STRUCTURAL)
+        # Structure cannot decide this deadlock; enumeration is off.
+        assert tiered.deadlock_free.value is None
+        assert tiered.deadlock_free.tier is Tier.INCONCLUSIVE
+        assert tiered.graph is None
+
+    def test_enumerative_fallback_decides_stuck_net(self):
+        tiered = TieredAnalysis(stuck_net())
+        assert tiered.deadlock_free.value is False
+        assert tiered.deadlock_free.tier is Tier.ENUMERATIVE
+
+    def test_budget_truncation_is_inconclusive_not_wrong(self):
+        tiered = TieredAnalysis(stuck_net(), budget=Budget(max_steps=1))
+        assert tiered.deadlock_free.value is None
+        assert tiered.deadlock_free.tier is Tier.INCONCLUSIVE
+        assert "budget" in tiered.deadlock_free.detail
+
+    def test_bound_overflow_is_inconclusive(self):
+        tiered = TieredAnalysis(stuck_net(), max_markings=2)
+        assert tiered.deadlock_free.value is None
+        assert tiered.deadlock_free.tier is Tier.INCONCLUSIVE
+
+    def test_reuses_supplied_graph(self):
+        from repro.analysis import ReachabilityGraph
+        net = stuck_net()
+        graph = ReachabilityGraph(net)
+        tiered = TieredAnalysis(net, graph=graph)
+        assert tiered.graph is graph
+
+
+class TestCrossCheck:
+    def test_benchmarks_agree(self):
+        design = default_design(load("ex"))
+        assert cross_check(design.control_net) == []
+
+    def test_undecidable_structures_agree_vacuously(self):
+        # Structure is inconclusive about the stuck net's deadlock;
+        # inconclusive imposes no constraint, so no mismatch.
+        assert cross_check(stuck_net()) == []
+
+    def test_fork_join_agrees(self):
+        assert cross_check(fork_join_net()) == []
+
+
+class TestMHPStructuralFallback:
+    def test_budget_truncation_falls_back_to_structural(self):
+        """Regression: a drained budget used to leave a truncated (and
+        unsoundly incomplete) MHP relation; now it degrades to the
+        sound structural over-approximation."""
+        net = fork_join_net(length=8)
+        exact = MHPAnalysis(net)
+        assert exact.tier == "enumerative" and not exact.approximate
+
+        truncated = MHPAnalysis(net, budget=Budget(max_steps=5))
+        assert truncated.tier == "structural"
+        assert truncated.approximate
+        assert truncated.certificate is not None
+        # Sound over-approximation: nothing the exact relation contains
+        # may be missing.
+        assert exact.place_pairs <= truncated.place_pairs
+        assert exact.enabled_pairs <= truncated.enabled_pairs
+        assert exact.concurrent_pairs <= truncated.concurrent_pairs
+        assert exact.marked_places <= truncated.marked_places
+
+    def test_structural_tier_is_exact_on_fork_join(self):
+        # Unit invariants prove every same-branch pair exclusive, so
+        # the over-approximation collapses to the exact relation here.
+        net = fork_join_net(length=4)
+        exact = MHPAnalysis(net)
+        structural = MHPAnalysis(net, tier="structural")
+        assert structural.graph is None
+        assert structural.place_pairs == exact.place_pairs
+        assert structural.concurrent_pairs == exact.concurrent_pairs
+
+    def test_explicit_enumerative_tier_keeps_legacy_truncation(self):
+        net = fork_join_net(length=8)
+        legacy = MHPAnalysis(net, budget=Budget(max_steps=5),
+                             tier="enumerative")
+        assert legacy.tier == "enumerative"
+        assert legacy.approximate  # truncated prefix, flagged as such
+        assert legacy.graph is not None and legacy.graph.truncated
+
+    def test_rejects_unknown_tier(self):
+        import pytest
+        with pytest.raises(ValueError):
+            MHPAnalysis(fork_join_net(), tier="psychic")
+
+    def test_concurrency_analysis_threads_tier(self):
+        design = default_design(load("ex"))
+        analysis = ConcurrencyAnalysis.of_design(design, tier="structural")
+        assert analysis.mhp.tier == "structural"
+        assert analysis.mhp.graph is None
+        # The chain's unit invariant proves all steps exclusive: the
+        # over-approximation stays race-free, like the exact tier.
+        assert analysis.races() == []
+
+
+class TestAnalyzeDesignTiers:
+    def test_structural_tier_reports_no_markings(self):
+        result = analyze_design(default_design(load("ex")),
+                                tier="structural")
+        assert result.markings == 0
+        assert result.safe is not None and result.safe.value is True
+        assert result.safe.tier is Tier.STRUCTURAL
+        assert result.deadlock_free.value is True
+
+    def test_auto_tier_skips_bfs_when_structure_decides(self):
+        result = analyze_design(default_design(load("ex")))
+        assert result.safe.tier is Tier.STRUCTURAL
+        assert result.deadlock_free.tier is Tier.STRUCTURAL
+        assert result.structural is not None
+
+    def test_enumerative_tier_still_works(self):
+        result = analyze_design(default_design(load("ex")),
+                                tier="enumerative")
+        assert result.safe.tier is Tier.ENUMERATIVE
+        assert result.safe.value is True
+        assert result.markings > 0
+
+    def test_rejects_unknown_tier(self):
+        import pytest
+        with pytest.raises(ValueError):
+            analyze_design(default_design(load("ex")), tier="psychic")
+
+    def test_reach_graph_exposes_counters(self):
+        from repro.analysis import ReachabilityGraph
+        graph = ReachabilityGraph(default_design(load("ex")).control_net)
+        assert graph.marking_count == len(graph.markings) > 0
+        assert graph.edge_count == len(graph.edges) > 0
+        assert graph.elapsed_seconds >= 0.0
