@@ -14,6 +14,8 @@ Examples::
     repro-hlts analyze --structural   # invariant certificates only, no BFS
     repro-hlts analyze --cross-check  # assert both tiers agree
     repro-hlts bench-analysis         # time structural vs enumerative
+    repro-hlts table1 --workers 4 --cache-dir .repro-cache
+    repro-hlts bench-tables           # write BENCH_tables.json
 """
 
 from __future__ import annotations
@@ -43,34 +45,64 @@ def _add_journal(parser: argparse.ArgumentParser) -> None:
                              "of recomputing them")
 
 
+def _add_parallel(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--workers", type=int, default=None, metavar="N",
+                        help="worker processes for grid cells "
+                             "(default: the CPU count; 1 = run inline)")
+    parser.add_argument("--cache-dir", metavar="PATH", default=None,
+                        help="content-hash result cache directory; "
+                             "repeated cells (and bit-width-independent "
+                             "baseline synthesis) become lookups")
+
+
+def _make_cache(args):
+    """The ResultCache behind ``--cache-dir`` (None when not asked for)."""
+    if not getattr(args, "cache_dir", None):
+        return None
+    from .harness.cache import ResultCache
+    from pathlib import Path
+    return ResultCache(cache_dir=Path(args.cache_dir))
+
+
+def _report_skips(outcome) -> int:
+    """Print skipped-cell notes; exit 1 for an explicitly partial grid."""
+    for skip in outcome.skipped:
+        print(f"note: lost {skip.flow}/{skip.bits}-bit: {skip.reason}",
+              file=sys.stderr)
+    return 0 if outcome.ok() else 1
+
+
 def _table_command(args, benchmark: str) -> int:
-    from .runtime import Journal, run_journaled_grid
+    from .harness.parallel import run_parallel_grid
+    from .runtime import Journal
     grid = [(flow, bits) for flow in FLOW_ORDER for bits in args.bits]
     journal = Journal(args.journal) if args.journal else None
-    cells = run_journaled_grid(
+    outcome = run_parallel_grid(
         benchmark, grid, ExperimentConfig.quick,
-        journal=journal, resume=args.resume,
+        workers=args.workers, journal=journal, resume=args.resume,
+        cache=_make_cache(args),
         progress=lambda msg: print(msg, file=sys.stderr))
-    print(render_table(benchmark, cells, show_area=True))
-    return 0
+    print(render_table(benchmark, outcome.cells, show_area=True))
+    return _report_skips(outcome)
 
 
 def _bench_command(args) -> int:
-    from .runtime import Budget, Journal, run_journaled_grid
+    from .harness.parallel import run_parallel_grid
+    from .runtime import Budget, Journal
     budget = (Budget(wall_seconds=args.wall_seconds)
               if args.wall_seconds is not None else None)
     journal = Journal(args.journal) if args.journal else None
-    cells = run_journaled_grid(
+    outcome = run_parallel_grid(
         args.benchmark, [(args.flow, args.bits)],
-        ExperimentConfig.quick, journal=journal, resume=args.resume,
-        progress=lambda msg: print(msg, file=sys.stderr),
-        budget=budget)
-    print(render_summary(cells))
-    for cell in cells:
+        ExperimentConfig.quick, workers=args.workers, journal=journal,
+        resume=args.resume, cache=_make_cache(args), budget=budget,
+        progress=lambda msg: print(msg, file=sys.stderr))
+    print(render_summary(outcome.cells))
+    for cell in outcome.cells:
         for reason in getattr(cell, "degradation", ()):
             print(f"note: {cell.flow}/{cell.bits}-bit degraded: {reason}",
                   file=sys.stderr)
-    return 0
+    return _report_skips(outcome)
 
 
 def _chaos_command(args) -> int:
@@ -353,6 +385,7 @@ def main(argv: list[str] | None = None) -> int:
         p = sub.add_parser(table, help=f"reproduce {table} ({benchmark})")
         _add_bits(p)
         _add_journal(p)
+        _add_parallel(p)
 
     for figure, benchmarks in (("fig2", ["ex"]), ("fig3", ["dct", "diffeq"])):
         p = sub.add_parser(figure, help=f"reproduce {figure} schedule(s)")
@@ -368,6 +401,7 @@ def main(argv: list[str] | None = None) -> int:
     p = sub.add_parser("explore", help="Pareto sweep over (k, alpha, beta)")
     p.add_argument("benchmark", choices=names())
     p.add_argument("--bits", type=int, default=8)
+    _add_parallel(p)
 
     p = sub.add_parser("export", help="export a synthesised design")
     p.add_argument("benchmark", choices=names())
@@ -387,6 +421,7 @@ def main(argv: list[str] | None = None) -> int:
                    help="wall-clock budget for the cell; on exhaustion the "
                         "cell completes with a degraded partial result")
     _add_journal(p)
+    _add_parallel(p)
 
     p = sub.add_parser(
         "chaos",
@@ -468,6 +503,23 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--output", default="BENCH_analysis.json",
                    help="output path (default: BENCH_analysis.json)")
 
+    p = sub.add_parser(
+        "bench-tables",
+        help="time sequential vs parallel vs warm-cache table runs and "
+             "write BENCH_tables.json")
+    p.add_argument("--benchmark", choices=names(), default="ex",
+                   help="benchmark whose table grid is timed (default: ex)")
+    p.add_argument("--bits", type=int, nargs="+", default=[4, 8, 16],
+                   help="data-path widths of the grid (default: 4 8 16)")
+    p.add_argument("--workers", type=int, default=4, metavar="N",
+                   help="worker processes for the parallel runs "
+                        "(default: 4)")
+    p.add_argument("--output", default="BENCH_tables.json",
+                   help="output path (default: BENCH_tables.json)")
+    p.add_argument("--cache-dir", metavar="PATH", default=None,
+                   help="keep the warm cache here instead of a "
+                        "throwaway temp directory")
+
     args = parser.parse_args(argv)
 
     from .errors import ReproError
@@ -511,8 +563,12 @@ def _dispatch(args, parser: argparse.ArgumentParser) -> int:
                   f"(dE={record.delta_e:+.0f}, dH={record.delta_h:+.4f})")
         return 0
     if args.command == "explore":
-        from .synth import explore, pareto_front, render_front
-        points = explore(load(args.benchmark), CostModel(bits=args.bits))
+        from .harness.parallel import explore_grid
+        from .synth import pareto_front, render_front
+        points = explore_grid(
+            args.benchmark, args.bits, workers=args.workers,
+            cache=_make_cache(args),
+            progress=lambda msg: print(msg, file=sys.stderr))
         print("all distinct designs:")
         print(render_front(points))
         print()
@@ -561,6 +617,17 @@ def _dispatch(args, parser: argparse.ArgumentParser) -> int:
               f"{report['structural_faster']}/{report['cells_total']}")
         return 0 if report["structural_faster"] == report["cells_total"] \
             else 1
+    if args.command == "bench-tables":
+        from .harness.bench_tables import run_bench_tables
+        report = run_bench_tables(
+            benchmark=args.benchmark, bits=args.bits, workers=args.workers,
+            output=args.output, cache_dir=args.cache_dir,
+            progress=lambda msg: print(msg, file=sys.stderr))
+        print(f"wrote {args.output}: speedup {report['speedup']}x "
+              f"(parallel-cold {report['speedup_cold']}x, "
+              f"warm hit rate {report['warm_hit_rate']}), "
+              f"rows identical: {report['rows_identical']}")
+        return 0 if report["rows_identical"] else 1
     parser.error(f"unknown command {args.command!r}")
     return 2
 

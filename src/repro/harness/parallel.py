@@ -1,0 +1,472 @@
+"""Work-stealing parallel executor for experiment grids.
+
+The benchmark × flow × bit-width grid behind one paper table is
+embarrassingly parallel: every cell is an independent synthesis + ATPG
++ costing pipeline.  :func:`run_parallel_grid` shards pending cells
+across a :class:`~concurrent.futures.ProcessPoolExecutor` (workers pull
+cells as they finish — work stealing for free) and composes with the
+PR-4 checkpoint machinery:
+
+* **Journal ownership protocol** — workers never touch the journal.
+  They return one serialised cell record (the exact
+  :func:`~repro.runtime.checkpoint.cell_record` shape) and the *parent*
+  is the sole journal writer, appending each record as its future
+  completes.  ``--resume`` therefore composes with any worker count: a
+  resumed run replays journaled cells and shards only the remainder.
+* **Determinism** — a cell's deterministic fields depend only on its
+  inputs, never on scheduling, and results are reassembled in grid
+  order, so ``workers=1`` and ``workers=N`` render byte-identical
+  table rows (wall-clock seconds are the one nondeterministic column;
+  :func:`~repro.runtime.checkpoint.scrubbed_records` masks them when
+  comparing).
+* **Degradation** — a worker that raises (including a simulated
+  process death injected at the ``harness.worker`` chaos seam, or a
+  broken pool) costs exactly its own cell: the parent records a
+  :class:`SkippedCell` with the failure reason and the grid completes
+  partially, mirroring Algorithm 1's skipped-candidate contract.
+  Per-cell wall-clock ceilings (``cell_wall_seconds``) are enforced
+  *inside* the worker by a fresh :class:`~repro.runtime.budget.Budget`,
+  so a slow cell degrades to a valid partial row instead of hanging
+  the pool.
+* **Caching** — workers share the content-hash result cache's disk
+  tier (:mod:`repro.harness.cache`); repeated cells and
+  bit-width-independent baseline synthesis become lookups.
+
+``workers=1`` runs every cell inline in the parent process (no pool,
+no pickling), which is also the path that honours a shared
+:class:`Budget` and a parent-activated chaos injector.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Iterable, Optional
+
+from ..runtime.budget import Budget
+from ..runtime.chaos import ChaosCrash, Injection, chaos_point, clear_injector
+from ..runtime.checkpoint import CellKey, Journal, cell_record, restore_cell
+from .cache import CacheStats, ResultCache, run_cell_cached
+
+
+@dataclass(frozen=True)
+class SkippedCell:
+    """A grid cell lost to a worker failure (crash, broken pool)."""
+
+    benchmark: str
+    flow: str
+    bits: int
+    reason: str
+
+    @property
+    def key(self) -> CellKey:
+        return (self.benchmark, self.flow, self.bits)
+
+
+@dataclass
+class GridOutcome:
+    """Everything one (possibly parallel, possibly resumed) grid run
+    produced."""
+
+    #: Completed cells in grid order (live ``CellResult`` or restored
+    #: ``JournaledCell`` — they render identically).  Skipped cells are
+    #: absent, making the grid explicitly partial.
+    cells: list[Any] = field(default_factory=list)
+    skipped: list[SkippedCell] = field(default_factory=list)
+    workers: int = 1
+    elapsed_seconds: float = 0.0
+    #: Cells replayed from the journal (resume) / computed this run.
+    replayed: int = 0
+    computed: int = 0
+    #: Aggregated cache counters across the parent and every worker.
+    cache_stats: CacheStats = field(default_factory=CacheStats)
+
+    def ok(self) -> bool:
+        """True when no cell was lost."""
+        return not self.skipped
+
+
+# ----------------------------------------------------------------------
+# Worker side
+# ----------------------------------------------------------------------
+#: Per-process cache instances, keyed by disk-tier path ("" = none).
+#: A pool worker serves many cells; keeping one ResultCache per
+#: cache-dir gives it a warm in-memory tier across those cells.
+_PROCESS_CACHES: dict[str, ResultCache] = {}
+
+
+def _process_cache(cache_dir: Optional[str]) -> Optional[ResultCache]:
+    if cache_dir is None:
+        return None
+    cache = _PROCESS_CACHES.get(cache_dir)
+    if cache is None:
+        cache = ResultCache(cache_dir=Path(cache_dir))
+        _PROCESS_CACHES[cache_dir] = cache
+    return cache
+
+
+def _worker_init() -> None:
+    """Pool initializer: forget any chaos injector inherited via fork.
+
+    Worker chaos is always explicit (per-cell plans in the task), never
+    an accidental replay of the parent's active injector.
+    """
+    clear_injector()
+
+
+def _evaluate_cell(benchmark: str, flow: str, bits: int, config: Any,
+                   cache: Optional[ResultCache],
+                   budget: Optional[Budget]) -> dict:
+    """Evaluate one grid cell; plain-data payload, cheap to pickle.
+
+    Returns ``{"record": <journal cell record>, "cache": <stats>}``.
+    The ``harness.worker`` seam at the top is where chaos plans kill a
+    cell deterministically.
+    """
+    chaos_point("harness.worker", (benchmark, flow, bits))
+    cell, provenance = run_cell_cached(benchmark, flow, config,
+                                       cache=cache, budget=budget)
+    if provenance.get("cell_cache") == "hit":
+        record = cell_record(cell)  # re-serialise the restored cell
+    else:
+        extra = {k: v for k, v in provenance.items() if k == "cache_key"}
+        reasons = tuple(getattr(cell, "degradation", ()))
+        if reasons:  # keep the why, not just the row's degraded bit
+            extra["degradation"] = list(reasons)
+        record = cell_record(cell, provenance=extra)
+    return {"record": record,
+            "cache": provenance.get("cache_stats",
+                                    CacheStats().to_dict())}
+
+
+def _worker_cell(benchmark: str, flow: str, bits: int, config: Any,
+                 cache_dir: Optional[str],
+                 cell_wall_seconds: Optional[float],
+                 injections: tuple[Injection, ...] = ()) -> dict:
+    """Pool-side cell evaluation: per-process cache, per-cell budget.
+
+    Raises on injected chaos (a simulated worker death), which the
+    parent degrades to a :class:`SkippedCell`.
+    """
+    from ..runtime.chaos import ChaosInjector
+
+    cache = _process_cache(cache_dir)
+    budget = (Budget(wall_seconds=cell_wall_seconds)
+              if cell_wall_seconds is not None else None)
+    if injections:
+        with ChaosInjector(*injections):
+            return _evaluate_cell(benchmark, flow, bits, config, cache,
+                                  budget)
+    return _evaluate_cell(benchmark, flow, bits, config, cache, budget)
+
+
+def _run_cell_inline(benchmark: str, flow: str, bits: int, config: Any,
+                     cache: Optional[ResultCache],
+                     budget: Optional[Budget],
+                     injections: tuple[Injection, ...]) -> dict:
+    """The ``workers=1`` twin of :func:`_worker_cell`.
+
+    Runs in the parent process, honours a *shared* budget across cells
+    and any already-active chaos injector (per-cell ``injections`` are
+    still applied when given and no injector is live, matching the
+    worker path without nesting)."""
+    from ..runtime.chaos import ChaosInjector, active_injector
+
+    if injections and active_injector() is None:
+        with ChaosInjector(*injections):
+            return _evaluate_cell(benchmark, flow, bits, config, cache,
+                                  budget)
+    return _evaluate_cell(benchmark, flow, bits, config, cache, budget)
+
+
+# ----------------------------------------------------------------------
+# Parent side
+# ----------------------------------------------------------------------
+def run_parallel_grid(benchmark: str,
+                      grid: Iterable[tuple[str, int]],
+                      config_for: Callable[[int], Any],
+                      *,
+                      workers: Optional[int] = None,
+                      journal: Optional[Journal] = None,
+                      resume: bool = False,
+                      cache: Optional[ResultCache] = None,
+                      budget: Optional[Budget] = None,
+                      cell_wall_seconds: Optional[float] = None,
+                      worker_chaos: Optional[
+                          dict[CellKey, tuple[Injection, ...]]] = None,
+                      progress: Optional[Callable[[str], None]] = None
+                      ) -> GridOutcome:
+    """Run (or resume) a grid of table cells, sharded across processes.
+
+    Args:
+        benchmark: the benchmark every cell runs.
+        grid: (flow, bits) pairs in table order.
+        config_for: bits -> ExperimentConfig for that column.
+        workers: process count; None = ``os.cpu_count()``, 1 = inline.
+        journal: completed-cell ledger; written only by this (parent)
+            process, one fsynced append per completed cell.
+        resume: replay cells already in ``journal``.
+        cache: content-hash result cache.  Workers share its disk tier;
+            a memory-only cache still serves the inline path and each
+            worker's own repeats.
+        budget: a shared Budget for the whole grid — inline only (a
+            Budget is process-local), so ``workers`` is forced to 1
+            when one is given.
+        cell_wall_seconds: per-cell wall-clock ceiling enforced inside
+            each worker by a fresh Budget; an overrunning cell degrades
+            to a valid partial row instead of hanging the pool.
+        worker_chaos: per-cell chaos plans (cell key -> injections),
+            activated inside the owning worker — the deterministic way
+            to kill worker N of a parallel run.
+        progress: optional per-cell status callback.
+
+    Returns:
+        A :class:`GridOutcome`; ``outcome.cells`` is in grid order and
+        explicitly partial when workers failed (``outcome.skipped``).
+    """
+    import os
+
+    started = time.perf_counter()
+    grid = list(grid)
+    workers = workers or os.cpu_count() or 1
+    if budget is not None:
+        workers = 1  # a shared Budget cannot cross process boundaries
+    worker_chaos = worker_chaos or {}
+
+    outcome = GridOutcome(workers=workers)
+    done = (journal.completed_cells()
+            if journal is not None and resume else {})
+    results: dict[CellKey, Any] = {}
+    pending: list[CellKey] = []
+    for flow, bits in grid:
+        key: CellKey = (benchmark, flow, bits)
+        if key in done:
+            if key not in results:
+                if progress:
+                    progress(f"resuming {benchmark}/{flow}/{bits}-bit "
+                             f"from journal")
+                results[key] = restore_cell(done[key])
+                outcome.replayed += 1
+        elif key not in pending:
+            pending.append(key)
+
+    if workers == 1:
+        _run_inline(pending, config_for, cache, budget, worker_chaos,
+                    journal, results, outcome, progress)
+    else:
+        _run_pool(pending, config_for, cache, workers, cell_wall_seconds,
+                  worker_chaos, journal, results, outcome, progress)
+
+    emitted: set[CellKey] = set()
+    for flow, bits in grid:
+        key = (benchmark, flow, bits)
+        cell = results.get(key)
+        if cell is not None and key not in emitted:
+            emitted.add(key)
+            outcome.cells.append(cell)
+    outcome.elapsed_seconds = time.perf_counter() - started
+    return outcome
+
+
+def _journal_commit(journal: Optional[Journal], record: dict) -> None:
+    """Parent-side journal append (the sole writer in any mode)."""
+    if journal is not None:
+        journal.append(record)
+
+
+def _absorb(outcome: GridOutcome, results: dict[CellKey, Any],
+            key: CellKey, payload: dict,
+            journal: Optional[Journal],
+            progress: Optional[Callable[[str], None]]) -> None:
+    record = payload["record"]
+    _journal_commit(journal, record)
+    results[key] = restore_cell(record)
+    outcome.computed += 1
+    stats = payload.get("cache", {})
+    outcome.cache_stats.add(CacheStats(
+        memory_hits=int(stats.get("memory_hits", 0)),
+        disk_hits=int(stats.get("disk_hits", 0)),
+        misses=int(stats.get("misses", 0)),
+        stores=int(stats.get("stores", 0))))
+    if progress:
+        hit = "cache hit" if (stats.get("memory_hits", 0)
+                              + stats.get("disk_hits", 0)) and not \
+            stats.get("misses", 0) else "computed"
+        progress(f"finished {key[0]}/{key[1]}/{key[2]}-bit ({hit})")
+
+
+def _run_inline(pending: list[CellKey],
+                config_for: Callable[[int], Any],
+                cache: Optional[ResultCache],
+                budget: Optional[Budget],
+                worker_chaos: dict[CellKey, tuple[Injection, ...]],
+                journal: Optional[Journal],
+                results: dict[CellKey, Any],
+                outcome: GridOutcome,
+                progress: Optional[Callable[[str], None]]) -> None:
+    for key in pending:
+        benchmark, flow, bits = key
+        if progress:
+            progress(f"running {benchmark}/{flow}/{bits}-bit ...")
+        try:
+            payload = _run_cell_inline(benchmark, flow, bits,
+                                       config_for(bits), cache, budget,
+                                       worker_chaos.get(key, ()))
+        except ChaosCrash:
+            raise  # simulated death of *this* process must not be absorbed
+        except Exception as exc:  # noqa: BLE001 - degradation barrier
+            outcome.skipped.append(SkippedCell(
+                benchmark, flow, bits, f"{type(exc).__name__}: {exc}"))
+            if progress:
+                progress(f"skipped {benchmark}/{flow}/{bits}-bit: "
+                         f"{type(exc).__name__}: {exc}")
+            continue
+        _absorb(outcome, results, key, payload, journal, progress)
+
+
+def _run_pool(pending: list[CellKey],
+              config_for: Callable[[int], Any],
+              cache: Optional[ResultCache],
+              workers: int,
+              cell_wall_seconds: Optional[float],
+              worker_chaos: dict[CellKey, tuple[Injection, ...]],
+              journal: Optional[Journal],
+              results: dict[CellKey, Any],
+              outcome: GridOutcome,
+              progress: Optional[Callable[[str], None]]) -> None:
+    if not pending:
+        return
+    cache_dir = (str(cache.cache_dir)
+                 if cache is not None and cache.cache_dir is not None
+                 else None)
+    workers = min(workers, len(pending))
+    with ProcessPoolExecutor(max_workers=workers,
+                             initializer=_worker_init) as pool:
+        futures = {}
+        for key in pending:
+            benchmark, flow, bits = key
+            if progress:
+                progress(f"dispatching {benchmark}/{flow}/{bits}-bit ...")
+            futures[pool.submit(
+                _worker_cell, benchmark, flow, bits, config_for(bits),
+                cache_dir, cell_wall_seconds,
+                worker_chaos.get(key, ()))] = key
+        not_done = set(futures)
+        while not_done:
+            finished, not_done = wait(not_done,
+                                      return_when=FIRST_COMPLETED)
+            for future in finished:
+                key = futures[future]
+                try:
+                    payload = future.result()
+                except Exception as exc:  # noqa: BLE001 - worker died
+                    outcome.skipped.append(SkippedCell(
+                        *key, reason=f"{type(exc).__name__}: {exc}"))
+                    if progress:
+                        progress(f"worker lost {key[0]}/{key[1]}/"
+                                 f"{key[2]}-bit: {type(exc).__name__}: "
+                                 f"{exc}")
+                    continue
+                _absorb(outcome, results, key, payload, journal, progress)
+
+
+# ----------------------------------------------------------------------
+# Parallel parameter exploration
+# ----------------------------------------------------------------------
+def _worker_explore_point(benchmark: str, bits: int, k: int, alpha: float,
+                          beta: float, cache_dir: Optional[str]) -> dict:
+    """Synthesise one explore grid point in a worker; plain-data result."""
+    from ..bench import load
+    from ..cost import CostModel
+    from ..io import design_to_dict
+    from ..synth import SynthesisParams
+    from ..testability import analyze
+    from .cache import synthesis_key
+
+    dfg = load(benchmark)
+    cost_model = CostModel(bits=bits)
+    params = SynthesisParams(k=k, alpha=alpha, beta=beta)
+    cache = _process_cache(cache_dir)
+    result = None
+    if cache is not None:
+        key = synthesis_key(dfg, "ours", params, bits)
+        result = cache.get_synthesis(key)
+    if result is None:
+        from ..synth import run_ours
+        result = run_ours(dfg, params, cost_model)
+        if cache is not None:
+            cache.put_synthesis(key, result)
+    design = result.design
+    signature = [sorted(design.steps.items()),
+                 sorted(design.binding.module_of.items()),
+                 sorted(design.binding.register_of.items())]
+    return {
+        "params": [k, alpha, beta],
+        "signature": signature,
+        "execution_time": design.execution_time,
+        "hardware_mm2": cost_model.hardware_total(design.datapath),
+        "quality": analyze(design.datapath).design_quality(),
+        "design": design_to_dict(design),
+    }
+
+
+def explore_grid(benchmark: str, bits: int,
+                 grid: Optional[list[tuple[int, float, float]]] = None,
+                 *,
+                 workers: Optional[int] = None,
+                 cache: Optional[ResultCache] = None,
+                 progress: Optional[Callable[[str], None]] = None
+                 ) -> "list[Any]":
+    """The parallel twin of :func:`repro.synth.explore.explore`.
+
+    Shards the (k, α, β) sweep across workers, then deduplicates by
+    design signature *in grid order* so the returned points match the
+    sequential sweep exactly regardless of completion order.
+    """
+    import os
+
+    from ..bench import load
+    from ..cost import CostModel
+    from ..io import design_from_dict
+    from ..synth.explore import DEFAULT_GRID, DesignPoint, explore
+
+    grid = list(grid or DEFAULT_GRID)
+    workers = workers or os.cpu_count() or 1
+    if workers == 1:
+        return explore(load(benchmark), CostModel(bits=bits), grid,
+                       cache=cache)
+
+    cache_dir = (str(cache.cache_dir)
+                 if cache is not None and cache.cache_dir is not None
+                 else None)
+    by_point: dict[tuple[int, float, float], dict] = {}
+    with ProcessPoolExecutor(max_workers=min(workers, len(grid)),
+                             initializer=_worker_init) as pool:
+        futures = {pool.submit(_worker_explore_point, benchmark, bits,
+                               k, alpha, beta, cache_dir): (k, alpha, beta)
+                   for k, alpha, beta in grid}
+        for future in futures:
+            point = futures[future]
+            by_point[point] = future.result()
+            if progress:
+                progress(f"explored (k={point[0]}, a={point[1]:g}, "
+                         f"b={point[2]:g})")
+
+    points: list[DesignPoint] = []
+    seen: set[str] = set()
+    import json
+    for point in grid:
+        payload = by_point[point]
+        signature = json.dumps(payload["signature"])
+        if signature in seen:
+            continue
+        seen.add(signature)
+        points.append(DesignPoint(
+            params=point,
+            execution_time=int(payload["execution_time"]),
+            hardware_mm2=float(payload["hardware_mm2"]),
+            quality=float(payload["quality"]),
+            design=design_from_dict(payload["design"])))
+    return points

@@ -16,9 +16,10 @@ from .budget import (Budget, REASON_CANCELLED, REASON_DEADLINE,
                      REASON_STEPS)
 from .chaos import (ACTION_CANCEL_BUDGET, ACTION_CORRUPT, ACTION_CRASH,
                     ACTION_RAISE, SEAMS, ChaosCrash, ChaosError,
-                    ChaosInjector, Injection, active_injector, chaos_point)
+                    ChaosInjector, Injection, active_injector, chaos_point,
+                    clear_injector)
 from .checkpoint import (Journal, JournaledCell, cell_record, record_key,
-                         restore_cell, run_journaled_grid)
+                         restore_cell, run_journaled_grid, scrubbed_records)
 from .scenarios import ScenarioOutcome, run_scenarios, scenario_names
 
 __all__ = [
@@ -35,9 +36,11 @@ __all__ = [
     "atomic_write_text",
     "cell_record",
     "chaos_point",
+    "clear_injector",
     "record_key",
     "restore_cell",
     "run_journaled_grid",
     "run_scenarios",
     "scenario_names",
+    "scrubbed_records",
 ]

@@ -22,6 +22,9 @@ Seams (see DESIGN.md §11):
 ``atpg.podem_step``       top of the PODEM decision loop (payload: the
                           active :class:`~repro.runtime.budget.Budget`)
 ``journal.pre_write``     immediately before a journal rename commits
+``harness.worker``        top of one grid cell's evaluation inside a
+                          parallel-harness worker (payload: the cell's
+                          (benchmark, flow, bits) key)
 ====================== ==================================================
 """
 
@@ -39,6 +42,7 @@ SEAMS = frozenset({
     "synth.pre_reschedule",
     "atpg.podem_step",
     "journal.pre_write",
+    "harness.worker",
 })
 
 #: Injection actions.
@@ -163,3 +167,16 @@ def chaos_point(seam: str, payload: Any = None) -> Any:
 def active_injector() -> Optional[ChaosInjector]:
     """The currently-active injector, if any (used by tests)."""
     return _ACTIVE
+
+
+def clear_injector() -> None:
+    """Forcibly deactivate any active injector.
+
+    For forked worker processes only: a ``fork`` start method copies
+    the parent's module state, including an injector the parent entered
+    — a worker must not replay the parent's chaos plan on its own seam
+    counters, so the parallel harness clears the inherited injector in
+    its pool initializer and activates per-cell plans explicitly.
+    """
+    global _ACTIVE
+    _ACTIVE = None

@@ -3,9 +3,10 @@
 A full paper table is a grid of benchmark × flow × bit-width cells,
 each minutes of synthesis + ATPG; before this module a crash at cell
 eleven of twelve lost everything.  A :class:`Journal` records each
-completed cell as one JSON line, committed via atomic
-write-temp-rename (:mod:`repro.runtime.atomic`), so the file on disk is
-always a complete, valid JSONL document.  ``repro-hlts table*`` and
+completed cell as one JSON line — an O(1) fsynced append on the hot
+path, an atomic write-temp-rename (:mod:`repro.runtime.atomic`) for
+first creation and repair — so a crash loses at most the newest
+record and the file always parses.  ``repro-hlts table*`` and
 ``bench`` grow ``--journal``/``--resume``: a resumed run replays
 finished cells from the journal (restored as :class:`JournaledCell`,
 which renders exactly like the live :class:`~repro.harness.experiment.
@@ -21,6 +22,7 @@ nondeterministic column; the chaos harness masks them when comparing).
 from __future__ import annotations
 
 import json
+import os
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Callable, Iterable, Optional
@@ -53,6 +55,11 @@ class JournaledCell:
 
     def row(self) -> dict[str, Any]:
         return dict(self.row_data)
+
+    @property
+    def degradation(self) -> tuple[str, ...]:
+        """Degradation reasons journaled with the cell (may be empty)."""
+        return tuple(self.provenance.get("degradation", ()))
 
 
 def cell_record(cell: Any, provenance: dict[str, Any] | None = None) -> dict:
@@ -92,12 +99,20 @@ def record_key(record: dict) -> CellKey:
 
 
 class Journal:
-    """An append-only JSONL journal with atomic commits.
+    """An append-only JSONL journal with crash-safe commits.
 
-    Each :meth:`append` rewrites the whole file through a temp-file
-    rename, so a reader (or a resumed run) always sees a complete
-    document — the ``journal.pre_write`` chaos seam sits right before
-    the rename to prove a crash there loses at most the newest record.
+    :meth:`append` normally commits one record as a single
+    ``write``+``fsync`` of one JSONL line — O(1) per commit, so journal
+    writes do not serialise a parallel grid whose parent journals every
+    completed cell.  The fast path is guarded by a header check (the
+    file must start with a record carrying :data:`JOURNAL_FORMAT` and
+    end on a newline); a missing, headerless or torn file falls back to
+    the original atomic whole-file rewrite (write-temp, fsync, rename),
+    which also serves first creation and :meth:`compact`.  A crash
+    mid-append can tear at most the newest line, which :meth:`records`
+    drops — exactly the loses-at-most-one-record contract the
+    ``journal.pre_write`` chaos seam (sitting right before either
+    write) proves.
     """
 
     def __init__(self, path: str | Path) -> None:
@@ -105,15 +120,27 @@ class Journal:
 
     # ------------------------------------------------------------------
     def records(self) -> list[dict]:
-        """Every journaled record ([] when the file does not exist)."""
+        """Every journaled record ([] when the file does not exist).
+
+        A torn *final* line (an append cut down by a crash) is dropped
+        silently — losing at most the newest record is the journal's
+        documented crash contract.  Corruption anywhere else still
+        raises: that is damage, not an interrupted append.
+        """
         if not self.path.exists():
             return []
         records = []
-        with open(self.path) as handle:
-            for line in handle:
-                line = line.strip()
-                if line:
-                    records.append(json.loads(line))
+        lines = self.path.read_text().splitlines()
+        for index, line in enumerate(lines):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                records.append(json.loads(line))
+            except ValueError:
+                if index == len(lines) - 1:
+                    break  # torn tail from a crashed append
+                raise
         return records
 
     def completed_cells(self) -> dict[CellKey, dict]:
@@ -121,13 +148,74 @@ class Journal:
         return {record_key(r): r for r in self.records()
                 if r.get("kind") == "cell"}
 
+    def _appendable(self) -> bool:
+        """Can :meth:`append` take the O(1) fast path?
+
+        True only when the file already starts with a well-formed
+        record of our format *and* ends on a newline (no torn tail).
+        """
+        try:
+            with open(self.path, "rb") as handle:
+                head = handle.readline()
+                if not head.endswith(b"\n"):
+                    return False
+                first = json.loads(head)
+                if not (isinstance(first, dict)
+                        and first.get("format") == JOURNAL_FORMAT):
+                    return False
+                handle.seek(-1, os.SEEK_END)
+                return handle.read(1) == b"\n"
+        except (OSError, ValueError):
+            return False
+
     def append(self, record: dict) -> None:
-        """Commit one record atomically."""
-        lines = [json.dumps(r, sort_keys=True) for r in self.records()]
-        lines.append(json.dumps(record, sort_keys=True))
+        """Commit one record (O(1) append, or full rewrite on repair)."""
+        line = json.dumps(record, sort_keys=True)
         chaos_point("journal.pre_write")
         self.path.parent.mkdir(parents=True, exist_ok=True)
+        if self._appendable():
+            with open(self.path, "a") as handle:
+                handle.write(line + "\n")
+                handle.flush()
+                os.fsync(handle.fileno())
+            return
+        lines = [json.dumps(r, sort_keys=True) for r in self.records()]
+        lines.append(line)
         atomic_write_text(self.path, "\n".join(lines) + "\n")
+
+    def compact(self) -> None:
+        """Atomically rewrite the file from its parsed records.
+
+        Repairs a torn tail and re-canonicalises every line; a no-op
+        for a journal that never crashed mid-append.
+        """
+        lines = [json.dumps(r, sort_keys=True) for r in self.records()]
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        text = "\n".join(lines) + "\n" if lines else ""
+        atomic_write_text(self.path, text)
+
+
+def scrubbed_records(records: list[dict],
+                     mask: tuple[str, ...] = ("tg_seconds",)) -> str:
+    """Journal records as canonical bytes for equivalence checks.
+
+    Sorts cell records by grid key (a parallel run journals completions
+    in finish order, not grid order) and masks the wall-clock columns —
+    the one nondeterministic field of a row — so two runs of the same
+    grid compare byte-identical exactly when their deterministic
+    content matches.
+    """
+    scrubbed = []
+    for record in records:
+        record = json.loads(json.dumps(record))  # deep copy
+        if isinstance(record.get("row"), dict):
+            for column in mask:
+                record["row"].pop(column, None)
+        record.pop("provenance", None)
+        scrubbed.append(record)
+    scrubbed.sort(key=lambda r: (str(r.get("kind")), str(r.get("benchmark")),
+                                 str(r.get("flow")), int(r.get("bits", 0))))
+    return "\n".join(json.dumps(r, sort_keys=True) for r in scrubbed)
 
 
 def run_journaled_grid(benchmark: str,

@@ -15,7 +15,6 @@ this module is imported by the CLI, which must stay cheap to load.
 
 from __future__ import annotations
 
-import json
 import tempfile
 from dataclasses import dataclass
 from pathlib import Path
@@ -24,7 +23,7 @@ from typing import Callable
 from .budget import Budget
 from .chaos import (ACTION_CANCEL_BUDGET, ACTION_CORRUPT, ACTION_CRASH,
                     ACTION_RAISE, ChaosCrash, ChaosInjector, Injection)
-from .checkpoint import Journal, run_journaled_grid
+from .checkpoint import Journal, run_journaled_grid, scrubbed_records
 
 
 @dataclass(frozen=True)
@@ -182,20 +181,11 @@ def scenario_reach_budget_truncate(benchmark: str, bits: int,
     ])
 
 
-def _scrubbed(records: list[dict]) -> str:
-    """Journal records as canonical bytes, wall-clock column masked.
-
-    ``tg_seconds`` is the one nondeterministic field of a cell row
-    (1998-style CPU seconds are informational; the effort metric is
-    primary), so the byte-identity claim excludes it.
-    """
-    scrubbed = []
-    for record in records:
-        record = json.loads(json.dumps(record))  # deep copy
-        if isinstance(record.get("row"), dict):
-            record["row"].pop("tg_seconds", None)
-        scrubbed.append(record)
-    return "\n".join(json.dumps(r, sort_keys=True) for r in scrubbed)
+#: ``tg_seconds`` is the one nondeterministic field of a cell row
+#: (1998-style CPU seconds are informational; the effort metric is
+#: primary), so byte-identity claims exclude it — see
+#: :func:`repro.runtime.checkpoint.scrubbed_records`.
+_scrubbed = scrubbed_records
 
 
 def scenario_journal_crash_resume(benchmark: str, bits: int,
@@ -235,6 +225,44 @@ def scenario_journal_crash_resume(benchmark: str, bits: int,
     ])
 
 
+def scenario_worker_crash(benchmark: str, bits: int,
+                          workdir: Path) -> tuple[bool, str]:
+    """A parallel-harness worker dies mid-grid: the run must lose only
+    that worker's cell (an explicit SkippedCell), journal the rest, and
+    a resumed run must complete the grid recomputing only the lost
+    cell."""
+    from ..harness.parallel import run_parallel_grid
+
+    grid = [("camad", bits), ("approach2", bits)]
+    crash_key = (benchmark, "approach2", bits)
+
+    def config_for(b: int):
+        return _quick_config(b)
+
+    journal = Journal(workdir / "journal.jsonl")
+    outcome = run_parallel_grid(
+        benchmark, grid, config_for, workers=2, journal=journal,
+        worker_chaos={crash_key: (Injection("harness.worker",
+                                            ACTION_CRASH),)})
+    resumed = run_parallel_grid(benchmark, grid, config_for, workers=2,
+                                journal=journal, resume=True)
+    return _check([
+        ("crashed worker lost exactly its own cell",
+         [s.key for s in outcome.skipped] == [crash_key]),
+        ("skip reason names the injected crash",
+         "ChaosCrash" in outcome.skipped[0].reason
+         if outcome.skipped else False),
+        ("surviving cell journaled by the parent",
+         len(journal.completed_cells()) >= 1),
+        ("partial grid rendered the surviving cell",
+         len(outcome.cells) == 1),
+        ("resume replayed the survivor and recomputed only the loss",
+         resumed.replayed == 1 and resumed.computed == 1
+         and not resumed.skipped),
+        ("resumed grid is complete", len(resumed.cells) == len(grid)),
+    ])
+
+
 #: The registered matrix, in execution order.
 SCENARIOS: list[tuple[str, Callable[[str, int, Path],
                                     tuple[bool, str]], str]] = [
@@ -250,6 +278,8 @@ SCENARIOS: list[tuple[str, Callable[[str, int, Path],
      "reachability BFS budget; truncated prefix of the state space"),
     ("journal-crash-resume", scenario_journal_crash_resume,
      "crash between journal commits; resume matches uninterrupted run"),
+    ("worker-crash", scenario_worker_crash,
+     "parallel worker dies mid-grid; partial grid + resume completes"),
 ]
 
 

@@ -46,15 +46,30 @@ class DesignPoint:
 
 
 def explore(dfg: DFG, cost_model: CostModel | None = None,
-            grid: list[tuple[int, float, float]] | None = None
-            ) -> list[DesignPoint]:
-    """Sweep the grid and return every distinct design point."""
+            grid: list[tuple[int, float, float]] | None = None,
+            cache: object | None = None) -> list[DesignPoint]:
+    """Sweep the grid and return every distinct design point.
+
+    ``cache`` is an optional :class:`~repro.harness.cache.ResultCache`:
+    each grid point's synthesis is keyed on the canonical DFG and the
+    full parameter set, so re-running a sweep (or sharing parameters
+    with a table run) is served from the cache.
+    """
     cost_model = cost_model or CostModel()
     points: list[DesignPoint] = []
     seen: set[tuple] = set()
     for k, alpha, beta in (grid or DEFAULT_GRID):
-        result = synthesize(dfg, SynthesisParams(k=k, alpha=alpha,
-                                                 beta=beta), cost_model)
+        params = SynthesisParams(k=k, alpha=alpha, beta=beta)
+        result = None
+        key = None
+        if cache is not None:
+            from ..harness.cache import synthesis_key
+            key = synthesis_key(dfg, "ours", params, cost_model.bits)
+            result = cache.get_synthesis(key)  # type: ignore[attr-defined]
+        if result is None:
+            result = synthesize(dfg, params, cost_model)
+            if cache is not None and key is not None:
+                cache.put_synthesis(key, result)  # type: ignore[attr-defined]
         design = result.design
         signature = (tuple(sorted(design.steps.items())),
                      tuple(sorted(design.binding.module_of.items())),

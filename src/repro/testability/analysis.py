@@ -239,5 +239,21 @@ class TestabilityAnalysis:
 
 
 def analyze(datapath: DataPath) -> TestabilityAnalysis:
-    """Run the testability analysis algorithm on a data path."""
-    return TestabilityAnalysis(datapath)
+    """Run (or recall) the testability analysis of a data path.
+
+    Memoised on datapath *identity*: designs are immutable once built
+    (``Design.replaced`` creates new objects and ``Design.datapath`` is
+    a cached property), so a datapath's analysis never changes over its
+    lifetime.  Repeated calls with the same object — Algorithm 1's
+    candidate ranking re-analysing the design its final iteration just
+    analysed, ``run_cell`` and ``explore`` pricing that same design —
+    return the cached :class:`TestabilityAnalysis` instead of
+    re-propagating the fixpoint.  The memo lives on the datapath object
+    (not in a global table), so its lifetime is exactly the datapath's
+    and a copied object is detected and re-analysed.
+    """
+    analysis = getattr(datapath, "_analysis_memo", None)
+    if analysis is None or analysis.datapath is not datapath:
+        analysis = TestabilityAnalysis(datapath)
+        datapath._analysis_memo = analysis  # type: ignore[attr-defined]
+    return analysis

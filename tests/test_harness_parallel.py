@@ -1,0 +1,93 @@
+"""Parallel grid executor: determinism, crash degradation, resume."""
+
+import pytest
+
+from repro.atpg import RandomPhaseConfig
+from repro.bench import load
+from repro.cost import CostModel
+from repro.harness import ExperimentConfig
+from repro.harness.parallel import explore_grid, run_parallel_grid
+from repro.runtime import ACTION_CRASH, Injection, Journal, scrubbed_records
+from repro.runtime.checkpoint import cell_record
+
+
+def _tiny_config(bits: int) -> ExperimentConfig:
+    return ExperimentConfig(
+        bits=bits, fault_fraction=0.25,
+        random=RandomPhaseConfig(max_sequences=4, saturation=2,
+                                 sequence_length=12),
+        max_backtracks=16)
+
+
+GRID = [("camad", 4), ("approach2", 4)]
+
+
+def _records(outcome) -> list[dict]:
+    return [cell_record(cell) for cell in outcome.cells]
+
+
+class TestDeterminism:
+    @pytest.fixture(scope="class")
+    def sequential(self):
+        return run_parallel_grid("ex", GRID, _tiny_config, workers=1)
+
+    def test_workers4_rows_identical_to_workers1(self, sequential):
+        parallel = run_parallel_grid("ex", GRID, _tiny_config, workers=4)
+        assert parallel.ok()
+        assert parallel.workers == 4
+        assert scrubbed_records(_records(parallel)) == \
+            scrubbed_records(_records(sequential))
+
+    def test_cells_come_back_in_grid_order(self, sequential):
+        keys = [(c.benchmark, c.flow, c.bits) for c in sequential.cells]
+        assert keys == [("ex", flow, bits) for flow, bits in GRID]
+        assert sequential.computed == len(GRID)
+        assert sequential.replayed == 0
+
+
+class TestWorkerCrash:
+    def test_crash_degrades_and_resume_completes(self, tmp_path):
+        journal = Journal(tmp_path / "grid.jsonl")
+        crash = {("ex", "approach2", 4):
+                 (Injection("harness.worker", ACTION_CRASH),)}
+        outcome = run_parallel_grid("ex", GRID, _tiny_config, workers=2,
+                                    journal=journal, worker_chaos=crash)
+        assert not outcome.ok()
+        assert [s.key for s in outcome.skipped] == [("ex", "approach2", 4)]
+        assert "ChaosCrash" in outcome.skipped[0].reason
+        assert len(outcome.cells) == 1          # explicitly partial grid
+        assert len(journal.completed_cells()) == 1
+
+        resumed = run_parallel_grid("ex", GRID, _tiny_config, workers=2,
+                                    journal=journal, resume=True)
+        assert resumed.ok()
+        assert resumed.replayed == 1            # survivor from the journal
+        assert resumed.computed == 1            # only the lost cell re-ran
+        assert len(resumed.cells) == len(GRID)
+        assert len(journal.completed_cells()) == len(GRID)
+
+
+class TestDegradation:
+    def test_cell_wall_ceiling_degrades_instead_of_hanging(self):
+        outcome = run_parallel_grid("ex", [("ours", 4)], _tiny_config,
+                                    workers=2, cell_wall_seconds=0.001)
+        assert outcome.ok()                     # a row, not a lost cell
+        assert outcome.cells[0].row()["degraded"] is True
+        # The *why* survives the worker's record round-trip too.
+        assert any("budget_exhausted" in reason
+                   for reason in outcome.cells[0].degradation)
+
+
+class TestExploreGrid:
+    def test_parallel_sweep_matches_sequential(self):
+        from repro.synth import explore
+        small = [(1, 2.0, 1.0), (3, 2.0, 1.0)]
+        seq = explore(load("ex"), CostModel(bits=4), small)
+        par = explore_grid("ex", 4, small, workers=2)
+
+        def flatten(points):
+            return [(p.params, p.execution_time,
+                     round(p.hardware_mm2, 9), round(p.quality, 9))
+                    for p in points]
+
+        assert flatten(par) == flatten(seq)

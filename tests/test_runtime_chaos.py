@@ -143,9 +143,10 @@ class TestMergerBarriers:
 
 class TestScenarioMatrix:
     def test_full_matrix_survives(self, tmp_path):
-        from repro.runtime import run_scenarios
+        from repro.runtime import run_scenarios, scenario_names
         outcomes = run_scenarios(bits=4, workdir=tmp_path)
-        assert len(outcomes) == 6
+        assert [o.name for o in outcomes] == scenario_names()
+        assert len(outcomes) >= 7
         failed = [f"{o.name}: {o.detail}" for o in outcomes if not o.ok]
         assert not failed, failed
 

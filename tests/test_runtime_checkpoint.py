@@ -11,7 +11,7 @@ from repro.harness import ExperimentConfig, render_table, run_cell
 from repro.io import load_design, save_design
 from repro.runtime import (Journal, JournaledCell, atomic_write_text,
                            cell_record, record_key, restore_cell,
-                           run_journaled_grid)
+                           run_journaled_grid, scrubbed_records)
 from repro.runtime.checkpoint import JOURNAL_FORMAT
 from repro.synth import run_ours
 
@@ -102,6 +102,83 @@ class TestJournal:
         table_live = render_table("ex", [ex_cell])
         table_restored = render_table("ex", [restored])
         assert table_restored == table_live
+
+
+def _formatted(flow: str, value: int = 0) -> dict:
+    return {"format": JOURNAL_FORMAT, "kind": "cell", "benchmark": "ex",
+            "flow": flow, "bits": 4, "row": {"v": value}}
+
+
+class TestAppendFastPath:
+    def test_append_is_in_place_after_creation(self, tmp_path):
+        journal = Journal(tmp_path / "j.jsonl")
+        journal.append(_formatted("camad"))
+        inode = os.stat(journal.path).st_ino
+        journal.append(_formatted("ours"))
+        # The O(1) fast path appends to the existing file; an atomic
+        # rewrite would have renamed a temp file over it (new inode).
+        assert os.stat(journal.path).st_ino == inode
+        assert len(journal.records()) == 2
+
+    def test_headerless_file_falls_back_to_rewrite(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        path.write_text('{"kind": "cell", "benchmark": "ex", '
+                        '"flow": "camad", "bits": 4}\n')
+        inode = os.stat(path).st_ino
+        journal = Journal(path)
+        journal.append(_formatted("ours"))
+        assert os.stat(path).st_ino != inode
+        assert len(journal.records()) == 2
+
+    def test_torn_tail_dropped_and_append_repairs(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        path.write_text(json.dumps(_formatted("camad")) + "\n"
+                        + '{"torn": tr')
+        journal = Journal(path)
+        assert len(journal.records()) == 1      # torn tail dropped
+        journal.append(_formatted("ours"))      # no trailing \n: rewrite
+        assert [json.loads(line) for line in
+                path.read_text().splitlines()] == journal.records()
+        assert len(journal.records()) == 2
+
+    def test_mid_file_corruption_still_raises(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        path.write_text('{"torn": tr\n' + json.dumps(_formatted("ours"))
+                        + "\n")
+        with pytest.raises(ValueError):
+            Journal(path).records()
+
+    def test_compact_repairs_a_torn_tail(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        path.write_text(json.dumps(_formatted("camad")) + "\n"
+                        + '{"torn": tr')
+        journal = Journal(path)
+        journal.compact()
+        assert journal._appendable()
+        assert len(journal.records()) == 1
+
+
+class TestScrubbedRecords:
+    def test_masks_wall_clock_and_sorts_by_grid_key(self):
+        ours = dict(_formatted("ours"),
+                    row={"tg_seconds": 1.23, "coverage_pct": 92.3},
+                    provenance={"cache_key": "abc"})
+        camad = dict(_formatted("camad"),
+                     row={"tg_seconds": 9.87, "coverage_pct": 90.0})
+        ours_rerun = dict(ours, row={"tg_seconds": 4.56,
+                                     "coverage_pct": 92.3})
+        ours_rerun.pop("provenance")
+        # Completion order and wall clock differ; scrubbed bytes match.
+        assert scrubbed_records([ours, camad]) == \
+            scrubbed_records([camad, ours_rerun])
+        assert "tg_seconds" not in scrubbed_records([ours])
+
+    def test_deterministic_difference_still_detected(self):
+        a = dict(_formatted("ours"), row={"tg_seconds": 1.0,
+                                          "coverage_pct": 92.3})
+        b = dict(_formatted("ours"), row={"tg_seconds": 1.0,
+                                          "coverage_pct": 90.0})
+        assert scrubbed_records([a]) != scrubbed_records([b])
 
 
 class TestJournaledGrid:
