@@ -31,6 +31,8 @@ design point; the ``repro-hlts analyze`` CLI subcommand, the
 all go through it.
 """
 
+from .dataflow import (AbstractValue, DataflowCertificate, analyze_dataflow,
+                       infer_feedback)
 from .equivalence import (COMMUTATIVE, Divergence, EquivalenceCertificate,
                           ValueNumbering, certify)
 from .mhp import MHPAnalysis
@@ -43,9 +45,11 @@ from .tiers import (Tier, TierDecision, TieredAnalysis, cross_check,
 from .verify import AnalysisResult, analyze_design, merger_preserves_semantics
 
 __all__ = [
+    "AbstractValue",
     "AnalysisResult",
     "COMMUTATIVE",
     "ConcurrencyAnalysis",
+    "DataflowCertificate",
     "Divergence",
     "EquivalenceCertificate",
     "GraphEdge",
@@ -61,9 +65,11 @@ __all__ = [
     "UnsafeFiring",
     "ValueNumbering",
     "Verdict",
+    "analyze_dataflow",
     "analyze_design",
     "certify",
     "cross_check",
+    "infer_feedback",
     "merger_preserves_semantics",
     "stuck_markings",
     "structural_certificate",

@@ -1,0 +1,227 @@
+"""The dataflow certificate: derived facts plus independent re-checking.
+
+Like the structural certificate of PR 5, a
+:class:`DataflowCertificate` is *checkable evidence*, not a bare
+verdict: it records every fact the engine derived (one
+:class:`~repro.analysis.dataflow.domain.AbstractValue` per operation
+result, operand position and variable) together with the model the
+facts are relative to — the input assumptions and the loop-feedback
+map.  :meth:`DataflowCertificate.check` re-verifies the facts without
+consulting the engine: it draws random concrete input vectors inside
+the assumptions, executes the DFG with the reference word semantics
+(:func:`repro.rtl.semantics.apply_op`), iterates the recorded feedback
+for looping behaviours, and reports every simulated value that escapes
+its abstraction.  A sound engine yields an empty problem list for any
+vector count; a transfer-function bug shows up as a concrete
+counterexample naming the operation.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any
+
+from ...dfg.graph import Const, DFG
+from ...rtl.semantics import apply_op, mask
+from .domain import AbstractValue
+
+#: Loop rounds simulated per check vector (drawn uniformly in 1..N).
+MAX_CHECK_ROUNDS = 4
+
+#: Serialised format tag.
+CERT_FORMAT = "repro.dataflow-cert/v1"
+
+
+@dataclass
+class DataflowCertificate:
+    """Every fact the dataflow fixpoint derived for one DFG.
+
+    Attributes:
+        name: the analysed DFG's name.
+        bits: word width the facts hold at.
+        assumptions: entry interval per primary input — the model's
+            precondition.  Inputs not listed are unconstrained.
+        feedback: loop-carried value map ``output var -> input var``;
+            empty for straight-line behaviour.  Together with
+            ``assumptions`` this *is* the model the facts are sound
+            against: each loop round feeds the mapped outputs back and
+            holds the remaining inputs invariant.
+        loop_iterations: body passes until the entry state stabilised.
+        widened: True when widening fired before convergence.
+        op_facts: abstraction of each operation's result.
+        op_operands: abstraction of each operand position (post-entry,
+            pre-operation) — what the overflow rules reason over.
+        var_facts: abstraction of each variable over its whole
+            lifetime: entry value (inputs) joined with every definition.
+        elapsed_seconds: analysis wall time (excluded from equality).
+    """
+
+    name: str
+    bits: int
+    assumptions: dict[str, tuple[int, int]]
+    feedback: dict[str, str]
+    loop_iterations: int
+    widened: bool
+    op_facts: dict[str, AbstractValue]
+    op_operands: dict[str, tuple[AbstractValue, ...]]
+    var_facts: dict[str, AbstractValue]
+    elapsed_seconds: float = field(default=0.0, compare=False)
+
+    # ------------------------------------------------------------------
+    # Queries the downstream layers consume
+    # ------------------------------------------------------------------
+    def op_width(self, op_id: str) -> int:
+        """Bits a module must provide to execute ``op_id``: enough for
+        the result and for every operand it reads."""
+        widths = [self.op_facts[op_id].required_width()]
+        widths += [v.required_width() for v in self.op_operands[op_id]]
+        return max(widths)
+
+    def var_width(self, var: str) -> int:
+        """Bits a register must provide to hold ``var``'s every value."""
+        fact = self.var_facts.get(var)
+        return fact.required_width() if fact is not None else self.bits
+
+    def constant_ops(self) -> dict[str, int]:
+        """Operations whose result is proved constant, with the value."""
+        return {o: f.const_value for o, f in sorted(self.op_facts.items())
+                if f.is_const}
+
+    def max_required_width(self) -> int:
+        """Widest proved requirement across every variable and result."""
+        widths = [f.required_width() for f in self.var_facts.values()]
+        widths += [f.required_width() for f in self.op_facts.values()]
+        return max(widths, default=1)
+
+    def known_bit_total(self) -> int:
+        """Total proved bit positions across all operation results."""
+        return sum(f.known_bit_count() for f in self.op_facts.values())
+
+    # ------------------------------------------------------------------
+    # Independent re-verification
+    # ------------------------------------------------------------------
+    def check(self, dfg: DFG, vectors: int = 64,
+              seed: int = 2026) -> list[str]:
+        """Re-verify every fact by random concrete simulation.
+
+        Returns a list of problems (empty = every simulated value lay
+        inside its abstraction).  The simulation uses only the
+        reference semantics — never the engine — so it is an
+        independent witness.
+        """
+        problems: list[str] = []
+        rng = random.Random(seed)
+        m = mask(self.bits)
+        for _ in range(vectors):
+            entry: dict[str, int] = {}
+            for var in dfg.inputs():
+                lo, hi = self.assumptions.get(var.name, (0, m))
+                entry[var.name] = rng.randint(lo, hi)
+            rounds = rng.randint(1, MAX_CHECK_ROUNDS) if self.feedback else 1
+            for _round in range(rounds):
+                # Each round restarts the body from the entry state with
+                # only the fed-back inputs updated — the exact model the
+                # engine's fixpoint iterates.
+                values = dict(entry)
+                for name, value in values.items():
+                    fact = self.var_facts.get(name)
+                    if fact is not None and not fact.contains(value):
+                        problems.append(
+                            f"input {name}={value} escapes {fact}")
+                self._check_one_pass(dfg, values, problems)
+                if not self.feedback:
+                    break
+                entry.update({in_var: values[out_var]
+                              for out_var, in_var in self.feedback.items()
+                              if out_var in values})
+            if len(problems) >= 20:
+                break
+        return problems
+
+    def _check_one_pass(self, dfg: DFG, values: dict[str, int],
+                        problems: list[str]) -> None:
+        """Execute one loop body, checking each op and assignment."""
+        for op_id in dfg.op_order:
+            op = dfg.operation(op_id)
+            operands = []
+            for src in op.srcs:
+                if isinstance(src, Const):
+                    operands.append(src.value & mask(self.bits))
+                else:
+                    operands.append(values[src])
+            facts = self.op_operands.get(op_id, ())
+            for pos, (value, fact) in enumerate(zip(operands, facts)):
+                if not fact.contains(value):
+                    problems.append(f"{op_id} operand {pos}={value} "
+                                    f"escapes {fact}")
+            if len(operands) == 1:
+                operands.append(0)
+            result = apply_op(op.kind, operands[0], operands[1], self.bits)
+            fact = self.op_facts.get(op_id)
+            if fact is not None and not fact.contains(result):
+                problems.append(f"{op_id} result {result} escapes {fact}")
+            if op.dst is not None:
+                values[op.dst] = result
+                vfact = self.var_facts.get(op.dst)
+                if vfact is not None and not vfact.contains(result):
+                    problems.append(f"{op.dst}={result} (def {op_id}) "
+                                    f"escapes {vfact}")
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    def summary(self) -> str:
+        """One line for CLI output and logs."""
+        const = len(self.constant_ops())
+        loop = (f", loop fixpoint in {self.loop_iterations} pass(es)"
+                f"{' (widened)' if self.widened else ''}"
+                if self.feedback else "")
+        return (f"{self.name}@{self.bits}b: {len(self.op_facts)} ops, "
+                f"{const} proved constant, "
+                f"{self.known_bit_total()} known bits, "
+                f"max required width {self.max_required_width()}/"
+                f"{self.bits}{loop}")
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-serialisable form (abstract values as 4-int tuples)."""
+        return {
+            "format": CERT_FORMAT,
+            "name": self.name,
+            "bits": self.bits,
+            "assumptions": {k: list(v) for k, v in
+                            sorted(self.assumptions.items())},
+            "feedback": dict(sorted(self.feedback.items())),
+            "loop_iterations": self.loop_iterations,
+            "widened": self.widened,
+            "op_facts": {o: list(f.to_tuple())
+                         for o, f in sorted(self.op_facts.items())},
+            "op_operands": {o: [list(f.to_tuple()) for f in fs]
+                            for o, fs in sorted(self.op_operands.items())},
+            "var_facts": {v: list(f.to_tuple())
+                          for v, f in sorted(self.var_facts.items())},
+            "elapsed_seconds": round(self.elapsed_seconds, 6),
+        }
+
+    @staticmethod
+    def from_dict(data: dict[str, Any]) -> "DataflowCertificate":
+        """Rebuild a certificate from :meth:`to_dict` output."""
+        return DataflowCertificate(
+            name=data["name"],
+            bits=data["bits"],
+            assumptions={k: (v[0], v[1])
+                         for k, v in data["assumptions"].items()},
+            feedback=dict(data["feedback"]),
+            loop_iterations=data["loop_iterations"],
+            widened=data["widened"],
+            op_facts={o: AbstractValue.from_tuple(f)
+                      for o, f in data["op_facts"].items()},
+            op_operands={o: tuple(AbstractValue.from_tuple(f) for f in fs)
+                         for o, fs in data["op_operands"].items()},
+            var_facts={v: AbstractValue.from_tuple(f)
+                       for v, f in data["var_facts"].items()},
+            elapsed_seconds=float(data.get("elapsed_seconds", 0.0)),
+        )
+
+
+__all__ = ["DataflowCertificate", "CERT_FORMAT", "MAX_CHECK_ROUNDS"]

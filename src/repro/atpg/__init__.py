@@ -4,6 +4,7 @@ from .engine import ATPGConfig, run_atpg
 from .fault_sim import FaultSimulator
 from .faults import Fault, full_fault_list, sample_faults
 from .podem import PodemEngine, PodemResult
+from .prune import constant_lines, prune_untestable
 from .random_tpg import RandomPhaseConfig, random_phase, random_sequence
 from .results import ATPGResult
 from .unroll import UnrolledCircuit, unroll
@@ -17,7 +18,9 @@ __all__ = [
     "PodemResult",
     "RandomPhaseConfig",
     "UnrolledCircuit",
+    "constant_lines",
     "full_fault_list",
+    "prune_untestable",
     "random_phase",
     "random_sequence",
     "run_atpg",

@@ -39,6 +39,9 @@ class ATPGConfig:
     fault_fraction: float = 1.0
     #: Skip the deterministic phase entirely (random-only ATPG).
     deterministic: bool = True
+    #: Prune faults the sequential constant-propagation analysis proves
+    #: untestable before spending any random/PODEM budget on them.
+    analysis_prune: bool = True
     #: Wall-clock allowance for the whole run (None = unlimited); a
     #: shared :class:`Budget` passed to :func:`run_atpg` wins over this.
     wall_seconds: float | None = None
@@ -66,6 +69,15 @@ def run_atpg(netlist: GateNetlist, config: ATPGConfig | None = None,
     result = ATPGResult(total_faults=len(faults),
                         gate_count=len(netlist),
                         dff_count=len(netlist.dffs()))
+    if config.analysis_prune:
+        # Stuck-at faults matching a proved-constant line are
+        # undetectable by construction; report them instead of burning
+        # random/PODEM budget proving it the hard way.  They stay in
+        # ``total_faults`` so coverage denominators are comparable with
+        # and without pruning.
+        from .prune import constant_lines, prune_untestable
+        faults, pruned = prune_untestable(faults, constant_lines(netlist))
+        result.untestable_by_analysis = len(pruned)
 
     simulator = FaultSimulator(circuit, budget=budget)
     random_result = random_phase(simulator, faults, config.random, rng,

@@ -1,0 +1,136 @@
+"""Analysis-driven fault pruning: skip provably untestable stuck-ats.
+
+A stuck-at-``v`` fault on a line that carries ``v`` in *every* cycle of
+*every* input sequence is undetectable: the faulty machine and the good
+machine compute identical values from the shared all-zero reset state
+(induction over cycles), so no test distinguishes them.  PODEM can
+prove this too — by exhausting its search per time-frame ladder rung,
+per fault — but at orders of magnitude more effort than the static
+argument.
+
+:func:`constant_lines` finds such lines by **sequential ternary
+constant propagation**, the gate-level counterpart of the DFG engine's
+known-bits component: every primary input is X (unknown), every DFF
+starts at its reset value 0 (the convention both the fault simulator's
+:meth:`~repro.gates.simulate.CompiledCircuit.zero_state` and the PODEM
+unroller use — see :mod:`repro.atpg.unroll`), and the next-state
+values are *joined* (0 ⊔ 1 = X) into the state until a fixpoint.  The
+fixpoint state over-approximates the DFF contents of every reachable
+cycle, so a gate that still evaluates to 0 or 1 under it is constant
+for the machine's whole behaviour.
+
+The embedded-controller netlists are rich in such cones: zero-padded
+constant words and FSM control signals that never go hot tie whole
+regions of the data path to fixed values.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..gates.netlist import GateNetlist, GateType
+from .faults import Fault
+
+#: Ternary line value: 0, 1 or None (X).
+Ternary = Optional[int]
+
+
+def _eval_gate(gtype: GateType, values: list[Ternary]) -> Ternary:
+    """Ternary evaluation of one combinational gate."""
+    if gtype is GateType.BUF:
+        return values[0]
+    if gtype is GateType.NOT:
+        v = values[0]
+        return None if v is None else 1 - v
+    if gtype in (GateType.AND, GateType.NAND):
+        if any(v == 0 for v in values):
+            out: Ternary = 0
+        elif all(v == 1 for v in values):
+            out = 1
+        else:
+            out = None
+        if gtype is GateType.NAND and out is not None:
+            out = 1 - out
+        return out
+    if gtype in (GateType.OR, GateType.NOR):
+        if any(v == 1 for v in values):
+            out = 1
+        elif all(v == 0 for v in values):
+            out = 0
+        else:
+            out = None
+        if gtype is GateType.NOR and out is not None:
+            out = 1 - out
+        return out
+    if gtype in (GateType.XOR, GateType.XNOR):
+        if any(v is None for v in values):
+            return None
+        acc = 0
+        for v in values:
+            acc ^= v  # type: ignore[operator]
+        return acc if gtype is GateType.XOR else 1 - acc
+    raise ValueError(f"not a combinational gate: {gtype}")  # pragma: no cover
+
+
+def _propagate(netlist: GateNetlist,
+               dff_state: dict[int, Ternary]) -> list[Ternary]:
+    """One ternary pass in topological order under a given DFF state."""
+    values: list[Ternary] = [None] * len(netlist.gates)
+    for gate in netlist.gates:
+        if gate.gtype is GateType.INPUT:
+            values[gate.gid] = None
+        elif gate.gtype is GateType.CONST0:
+            values[gate.gid] = 0
+        elif gate.gtype is GateType.CONST1:
+            values[gate.gid] = 1
+        elif gate.gtype is GateType.DFF:
+            values[gate.gid] = dff_state[gate.gid]
+        else:
+            values[gate.gid] = _eval_gate(
+                gate.gtype, [values[f] for f in gate.fanins])
+    return values
+
+
+def constant_lines(netlist: GateNetlist) -> dict[int, int]:
+    """Lines proved constant over every cycle from reset.
+
+    Returns a map ``gate id -> constant value`` covering every gate
+    (including the DFFs themselves) whose output never changes, for any
+    input sequence, starting from the all-zero reset state.
+    """
+    dffs = netlist.dffs()
+    state: dict[int, Ternary] = {g.gid: 0 for g in dffs}
+    # Fixpoint: join each DFF's next-state value into its state.  The
+    # state lattice only descends (known -> X), so this terminates in
+    # at most |DFF| + 1 passes; in practice a handful.
+    for _ in range(len(dffs) + 1):
+        values = _propagate(netlist, state)
+        changed = False
+        for gate in dffs:
+            nxt = values[gate.fanins[0]] if gate.fanins else None
+            if state[gate.gid] is not None and nxt != state[gate.gid]:
+                state[gate.gid] = None
+                changed = True
+        if not changed:
+            break
+    values = _propagate(netlist, state)
+    return {gid: v for gid, v in enumerate(values) if v is not None}
+
+
+def prune_untestable(faults: list[Fault], constants: dict[int, int]
+                     ) -> tuple[list[Fault], list[Fault]]:
+    """Split a fault list into (worth attempting, provably untestable).
+
+    A fault is pruned only when it forces the value the line already
+    always carries — the *opposite*-polarity fault on a constant line
+    genuinely changes the machine and stays in the attempt list (its
+    detectability is an observability question PODEM must answer).
+    """
+    kept: list[Fault] = []
+    pruned: list[Fault] = []
+    for fault in faults:
+        if constants.get(fault.gid) == fault.stuck:
+            pruned.append(fault)
+        else:
+            kept.append(fault)
+    return kept, pruned

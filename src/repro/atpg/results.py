@@ -25,6 +25,12 @@ class ATPGResult:
     detected_deterministic: int = 0
     aborted_faults: int = 0
     untestable_faults: int = 0
+    #: Faults proved untestable by static analysis (sequential ternary
+    #: constant propagation) before any pattern was simulated; they
+    #: stay in ``total_faults`` but never consume random or PODEM
+    #: budget.  Disjoint from ``untestable_faults``, which PODEM proves
+    #: the expensive way.
+    untestable_by_analysis: int = 0
     random_cycles: int = 0
     deterministic_cycles: int = 0
     random_effort: int = 0
@@ -69,5 +75,6 @@ class ATPGResult:
             "tg_seconds": round(self.tg_seconds, 3),
             "test_cycles": self.test_cycles,
             "gates": self.gate_count,
+            "pruned_by_analysis": self.untestable_by_analysis,
             "budget_exhausted": self.budget_exhausted,
         }

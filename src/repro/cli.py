@@ -13,6 +13,8 @@ Examples::
     repro-hlts analyze ewf --flow default --format json
     repro-hlts analyze --structural   # invariant certificates only, no BFS
     repro-hlts analyze --cross-check  # assert both tiers agree
+    repro-hlts dataflow diffeq --bits 8 --narrow
+    repro-hlts bench-dataflow         # write BENCH_dataflow.json
     repro-hlts bench-analysis         # time structural vs enumerative
     repro-hlts table1 --workers 4 --cache-dir .repro-cache
     repro-hlts bench-tables           # write BENCH_tables.json
@@ -137,15 +139,21 @@ def _figure_command(args, benchmarks: list[str]) -> int:
     return 0
 
 
-def _lint_resolve(target: str):
-    """Resolve a lint target to a DFG: benchmark name or HDL file path."""
+def _lint_resolve(target: str, bits: int = 16, optimize: bool = False):
+    """Resolve a lint target to a DFG: benchmark name or HDL file path.
+
+    ``bits`` is the width constant folding evaluates at when
+    ``optimize`` is requested — the *command's* datapath width, so an
+    HDL file is folded at the same width it is later analysed at.
+    """
     if target in names():
         return load(target)
     import os
     if os.path.isfile(target):
         from .hdl import compile_source
         with open(target) as handle:
-            return compile_source(handle.read())
+            return compile_source(handle.read(), optimize=optimize,
+                                  bits=bits)
     raise KeyError(target)
 
 
@@ -167,7 +175,8 @@ def _lint_command(args) -> int:
     all_ok = True
     for target in targets:
         try:
-            dfg = _lint_resolve(target)
+            dfg = _lint_resolve(target, bits=args.bits,
+                                optimize=args.optimize)
         except KeyError:
             print(f"error: {target!r} is neither a registered benchmark "
                   f"({', '.join(names())}) nor an HDL file", file=sys.stderr)
@@ -217,7 +226,7 @@ def _analyze_resolve_designs(args):
     resolved = []
     for target in targets:
         try:
-            dfg = _lint_resolve(target)
+            dfg = _lint_resolve(target, bits=args.bits)
         except KeyError:
             print(f"error: {target!r} is neither a registered benchmark "
                   f"({', '.join(names())}) nor an HDL file", file=sys.stderr)
@@ -369,6 +378,90 @@ def _analyze_command(args) -> int:
     return 0 if all_ok else 1
 
 
+def _dataflow_assumptions(dfg, bits: int, input_bits: int | None):
+    """Entry intervals when ``--input-bits`` restricts the inputs."""
+    if input_bits is None:
+        return None
+    hi = (1 << min(input_bits, bits)) - 1
+    return {v.name: (0, hi) for v in dfg.inputs()}
+
+
+def _dataflow_command(args) -> int:
+    """The ``dataflow`` subcommand: abstract-interpretation facts,
+    certificate self-check, DFA findings and optional width narrowing."""
+    from .analysis.dataflow import analyze_dataflow
+    from .errors import ReproError
+    from .lint import lint_dataflow
+
+    targets = args.targets or list(names())
+    results = []
+    all_ok = True
+    for target in targets:
+        try:
+            dfg = _lint_resolve(target, bits=max(args.bits))
+        except KeyError:
+            print(f"error: {target!r} is neither a registered benchmark "
+                  f"({', '.join(names())}) nor an HDL file", file=sys.stderr)
+            return 2
+        except ReproError as exc:
+            print(f"error: {target}: cannot compile: {exc}", file=sys.stderr)
+            return 2
+        for bits in args.bits:
+            assumptions = _dataflow_assumptions(dfg, bits, args.input_bits)
+            cert = analyze_dataflow(dfg, bits, assumptions=assumptions)
+            problems = cert.check(dfg, vectors=args.vectors)
+            report = lint_dataflow(dfg, bits=bits)
+            narrow = None
+            if args.narrow:
+                from .cost import narrow_design
+                from .etpn.from_dfg import default_design
+                if args.flow == "default":
+                    design = default_design(dfg)
+                else:
+                    design = run_ours(
+                        dfg, cost_model=CostModel(bits=bits)).design
+                narrow = narrow_design(design, bits,
+                                       assumptions=assumptions, cert=cert)
+            ok = not problems and report.ok(strict=args.strict)
+            all_ok = all_ok and ok
+            results.append((target, bits, cert, problems, report, narrow,
+                            ok))
+
+    if args.fmt == "json":
+        import json
+        print(json.dumps({
+            "targets": [
+                {"name": t, "bits": bits, "ok": ok,
+                 "constant_ops": len(cert.constant_ops()),
+                 "known_bits": cert.known_bit_total(),
+                 "max_required_width": cert.max_required_width(),
+                 "loop_iterations": cert.loop_iterations,
+                 "widened": cert.widened,
+                 "check_vectors": args.vectors,
+                 "check_problems": problems,
+                 "narrowing": narrow.to_dict() if narrow else None,
+                 **report.to_dict()}
+                for t, bits, cert, problems, report, narrow, ok in results],
+            "strict": args.strict,
+            "ok": all_ok,
+        }, indent=2))
+    else:
+        for target, bits, cert, problems, report, narrow, ok in results:
+            status = "ok" if ok else "FAIL"
+            print(f"== {cert.summary()} "
+                  f"[check {args.vectors} vectors: {status}]")
+            for diag in report.sorted():
+                print(f"   {diag.format()}")
+            for problem in problems:
+                print(f"   CHECK: {problem}")
+            if narrow is not None:
+                print(f"   narrowing: {narrow.summary()}")
+            if args.verbose:
+                for var, fact in sorted(cert.var_facts.items()):
+                    print(f"   {var}: {fact}")
+    return 0 if all_ok else 1
+
+
 def main(argv: list[str] | None = None) -> int:
     """Entry point of the ``repro-hlts`` command."""
     parser = argparse.ArgumentParser(
@@ -452,6 +545,9 @@ def main(argv: list[str] | None = None) -> int:
                    dest="fmt", help="output format (default: text)")
     p.add_argument("--bits", type=int, default=8,
                    help="data-path width for the gate-level rules")
+    p.add_argument("--optimize", action="store_true",
+                   help="fold/CSE/DCE HDL-file targets at --bits before "
+                        "linting (benchmarks are linted as registered)")
     p.add_argument("--no-gates", action="store_true",
                    help="skip the gate-level expansion rules (faster)")
     p.add_argument("--depth-limit", type=float, default=8.0,
@@ -491,6 +587,49 @@ def main(argv: list[str] | None = None) -> int:
                         "enumerative verdicts")
     p.add_argument("-v", "--verbose", action="store_true",
                    help="also print the per-output certificate expressions")
+
+    p = sub.add_parser(
+        "dataflow",
+        help="abstract-interpretation dataflow facts: value ranges, "
+             "known bits, certificate self-check, DFA findings")
+    p.add_argument("targets", nargs="*", metavar="TARGET",
+                   help="benchmark names or HDL source files "
+                        "(default: every registered benchmark)")
+    _add_bits(p)
+    p.add_argument("--vectors", type=int, default=64,
+                   help="random vectors for the certificate self-check "
+                        "(default: 64)")
+    p.add_argument("--input-bits", type=int, default=None,
+                   help="assume primary inputs occupy at most this many "
+                        "bits (default: the full datapath width)")
+    p.add_argument("--narrow", action="store_true",
+                   help="also synthesise the design (--flow) and report "
+                        "the equivalence-gated width-narrowing area delta")
+    p.add_argument("--flow", choices=["ours", "default"], default="ours",
+                   help="design point --narrow re-prices (default: ours)")
+    p.add_argument("--strict", action="store_true",
+                   help="treat DFA warnings as failures for the exit "
+                        "status")
+    p.add_argument("--format", choices=["text", "json"], default="text",
+                   dest="fmt", help="output format (default: text)")
+    p.add_argument("-v", "--verbose", action="store_true",
+                   help="also print the per-variable abstract values")
+
+    p = sub.add_parser(
+        "bench-dataflow",
+        help="time the dataflow fixpoint, fault pruning and width "
+             "narrowing and write BENCH_dataflow.json")
+    _add_bits(p)
+    p.add_argument("--repeats", type=int, default=3,
+                   help="timing repeats; the minimum is recorded")
+    p.add_argument("--vectors", type=int, default=64,
+                   help="random vectors per certificate self-check "
+                        "(default: 64)")
+    p.add_argument("--input-bits", type=int, default=8,
+                   help="narrowing cells assume inputs occupy at most "
+                        "min(this, bits) bits (default: 8)")
+    p.add_argument("--output", default="BENCH_dataflow.json",
+                   help="output path (default: BENCH_dataflow.json)")
 
     p = sub.add_parser(
         "bench-analysis",
@@ -606,6 +745,21 @@ def _dispatch(args, parser: argparse.ArgumentParser) -> int:
         return _lint_command(args)
     if args.command == "analyze":
         return _analyze_command(args)
+    if args.command == "dataflow":
+        return _dataflow_command(args)
+    if args.command == "bench-dataflow":
+        from .harness.bench_dataflow import run_bench_dataflow
+        report = run_bench_dataflow(
+            bits=args.bits, repeats=args.repeats, vectors=args.vectors,
+            input_bits=args.input_bits, output=args.output,
+            progress=lambda msg: print(msg, file=sys.stderr))
+        print(f"wrote {args.output}: {report['cells_total']} cells, "
+              f"certs ok: {report['all_certs_ok']}, "
+              f"benchmarks with pruned faults: "
+              f"{report['benchmarks_with_pruned']}, "
+              f"with narrowing savings: "
+              f"{report['benchmarks_with_area_delta']}")
+        return 0 if report["all_certs_ok"] else 1
     if args.command == "bench-analysis":
         from .harness.bench_analysis import run_bench_analysis
         report = run_bench_analysis(bits=args.bits, repeats=args.repeats,

@@ -52,6 +52,14 @@ class ExperimentConfig:
                                                         saturation=5))
     max_backtracks: int = 64
     seed: int = 2026
+    #: Price the data path at the widths the dataflow certificate
+    #: proves sufficient (equivalence-gated; a refused narrowing keeps
+    #: the declared-width area).  Part of the cache key: narrowed and
+    #: plain cells never collide.
+    narrow_widths: bool = False
+    #: Narrowing input assumption: primary inputs occupy at most
+    #: ``min(narrow_input_bits, bits)`` bits (None = the full width).
+    narrow_input_bits: int | None = None
 
     @staticmethod
     def quick(bits: int) -> "ExperimentConfig":
@@ -83,6 +91,10 @@ class CellResult:
     degraded: bool = False
     #: Why (synthesis degradation reasons + ATPG budget provenance).
     degradation: tuple[str, ...] = ()
+    #: True when ``area_mm2`` is the certificate-narrowed pricing
+    #: (requested via :attr:`ExperimentConfig.narrow_widths` *and* the
+    #: equivalence certifier validated the design point).
+    narrowed: bool = False
 
     def row(self) -> dict[str, object]:
         """Flat dict for table rendering and EXPERIMENTS.md."""
@@ -101,6 +113,7 @@ class CellResult:
             "area_mm2": round(self.area_mm2, 3),
             "seq_depth": round(self.seq_depth, 1),
             "degraded": self.degraded,
+            "narrowed": self.narrowed,
         }
 
 
@@ -179,6 +192,9 @@ def run_cell(benchmark: str, flow: str,
         degradation.append(f"atpg budget_exhausted:{atpg.budget_reason}")
     cost_model = CostModel(bits=config.bits)
     area = cost_model.hardware_total(design.datapath)
+    narrowed = False
+    if config.narrow_widths:
+        area, narrowed = _narrowed_area(design, config, area)
     analysis = analyze(design.datapath)
     return CellResult(
         benchmark=benchmark, flow=flow, bits=config.bits, design=design,
@@ -187,7 +203,23 @@ def run_cell(benchmark: str, flow: str,
         register_groups=design.binding.registers(),
         seq_depth=sequential_depth_metric(design.datapath),
         testability_quality=analysis.design_quality(),
-        degraded=bool(degradation), degradation=tuple(degradation))
+        degraded=bool(degradation), degradation=tuple(degradation),
+        narrowed=narrowed)
+
+
+def _narrowed_area(design: Design, config: ExperimentConfig,
+                   baseline: float) -> tuple[float, bool]:
+    """Certificate-narrowed area, or the baseline when narrowing is
+    refused (the equivalence certifier could not validate the point)."""
+    from ..cost import narrow_design
+    assumptions = None
+    if config.narrow_input_bits is not None:
+        hi = (1 << min(config.narrow_input_bits, config.bits)) - 1
+        assumptions = {v.name: (0, hi) for v in design.dfg.inputs()}
+    report = narrow_design(design, config.bits, assumptions=assumptions)
+    if not report.applied:
+        return baseline, False
+    return report.narrowed.total_mm2, True
 
 
 def run_benchmark_table(benchmark: str, bits_list: tuple[int, ...] = (4, 8, 16),

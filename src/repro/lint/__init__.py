@@ -15,6 +15,7 @@ Layers and code prefixes::
     NET  control Petri net        GAT  gate netlist   TST  testability
     STR  structural invariants    RAC  concurrency races
     EQV  value-flow equivalence   LNT  pipeline-stage failure
+    DFA  abstract-interpretation value facts
 
 See ``repro-hlts lint --list-rules`` or DESIGN.md for the full table.
 """
@@ -23,8 +24,8 @@ from .diagnostic import Diagnostic, LintReport, Severity
 from .registry import (LAYERS, LintContext, Rule, all_rules, get_rule, rule,
                        rules_for_layer, run_layer)
 from .runner import (PIPELINE_FAILURE_CODE, lint_analysis, lint_binding,
-                     lint_datapath, lint_design, lint_dfg, lint_netlist,
-                     lint_petri, lint_pipeline, lint_schedule,
+                     lint_dataflow, lint_datapath, lint_design, lint_dfg,
+                     lint_netlist, lint_petri, lint_pipeline, lint_schedule,
                      lint_structural, run_analysis_layer)
 
 __all__ = [
@@ -32,7 +33,7 @@ __all__ = [
     "LAYERS", "LintContext", "Rule", "all_rules", "get_rule", "rule",
     "rules_for_layer", "run_layer",
     "PIPELINE_FAILURE_CODE", "lint_analysis", "lint_binding",
-    "lint_datapath", "lint_design", "lint_dfg", "lint_netlist", "lint_petri",
-    "lint_pipeline", "lint_schedule", "lint_structural",
-    "run_analysis_layer",
+    "lint_dataflow", "lint_datapath", "lint_design", "lint_dfg",
+    "lint_netlist", "lint_petri", "lint_pipeline", "lint_schedule",
+    "lint_structural", "run_analysis_layer",
 ]

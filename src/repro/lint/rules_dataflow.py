@@ -1,0 +1,196 @@
+"""Dataflow-layer design rules (codes ``DFA001``-``DFA006``).
+
+These rules consume the abstract-interpretation facts of
+:mod:`repro.analysis.dataflow`: value intervals and known bits per
+operation, operand position and variable.  Where the ``DFG`` rules
+check graph shape, these check *value* properties — overflow that must
+happen, results that cannot vary, comparison outcomes that are already
+decided, and word widths the behaviour provably never fills.
+
+The certificate is computed once per
+:class:`~repro.lint.registry.LintContext` (at the context's ``bits``)
+and memoised in ``ctx.cache`` under :data:`CERTIFICATE_KEY`, mirroring
+the structural layer; ``DFA006`` re-verifies the same certificate by
+random concrete simulation, so an engine bug surfaces as an ERROR
+finding instead of silently skewing the other rules.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..analysis.dataflow import DataflowCertificate, analyze_dataflow
+from ..dfg.ops import OpKind, is_comparison
+from ..rtl.semantics import mask
+from .diagnostic import Severity
+from .registry import Emit, LintContext, rule
+
+#: ``ctx.cache`` key holding the memoised dataflow certificate.
+CERTIFICATE_KEY = "dataflow.certificate"
+
+#: At most this many findings per multi-witness rule.
+MAX_FINDINGS = 8
+
+#: Vectors DFA006 simulates; small because lint runs interactively and
+#: the CLI/bench paths re-check with the full 64+ elsewhere.
+CHECK_VECTORS = 16
+
+
+def cached_dataflow(ctx: LintContext) -> Optional[DataflowCertificate]:
+    """The context's memoised dataflow certificate (None when the
+    context has no DFG or the analysis fails)."""
+    if CERTIFICATE_KEY not in ctx.cache:
+        result: Optional[DataflowCertificate] = None
+        if ctx.dfg is not None and len(ctx.dfg):
+            try:
+                result = analyze_dataflow(ctx.dfg, ctx.bits)
+            except Exception:  # malformed DFGs are DFG-layer findings
+                result = None
+        ctx.cache[CERTIFICATE_KEY] = result
+    return ctx.cache[CERTIFICATE_KEY]
+
+
+@rule("DFA001", layer="dataflow", severity=Severity.WARNING,
+      title="provable overflow")
+def check_overflow(ctx: LintContext, emit: Emit) -> None:
+    """An arithmetic operation wraps (or truncates) on *every* input
+    the analysis admits — the declared width cannot hold any result."""
+    cert = cached_dataflow(ctx)
+    if cert is None:
+        return
+    m = mask(cert.bits)
+    findings = 0
+    for op_id in ctx.dfg.op_order:
+        op = ctx.dfg.operation(op_id)
+        operands = cert.op_operands.get(op_id, ())
+        if len(operands) < 2:
+            continue
+        a, b = operands[0], operands[1]
+        reason = ""
+        if op.kind is OpKind.ADD and a.lo + b.lo > m:
+            reason = f"minimum sum {a.lo + b.lo} exceeds {m}"
+        elif op.kind is OpKind.SUB and a.hi < b.lo:
+            reason = f"maximum minuend {a.hi} is below subtrahend {b.lo}"
+        elif op.kind is OpKind.MUL and a.lo * b.lo > m:
+            reason = f"minimum product {a.lo * b.lo} exceeds {m}"
+        elif op.kind is OpKind.SHL and b.is_const \
+                and a.lo << (b.const_value % cert.bits) > m:
+            reason = f"minimum shifted value exceeds {m}"
+        if reason:
+            findings += 1
+            if findings > MAX_FINDINGS:
+                break
+            emit(f"{ctx.name}: {op_id} ({op.kind}) always wraps at "
+                 f"{cert.bits} bits: {reason}",
+                 location=op_id,
+                 hint="widen the datapath or rescale the inputs; the "
+                      "wrapped result is almost certainly unintended")
+
+
+@rule("DFA002", layer="dataflow", severity=Severity.WARNING,
+      title="always-constant operation result")
+def check_constant_ops(ctx: LintContext, emit: Emit) -> None:
+    """A non-trivial operation's result is proved constant although its
+    operands are not all literals — the hardware computes a wire."""
+    cert = cached_dataflow(ctx)
+    if cert is None:
+        return
+    findings = 0
+    for op_id, value in cert.constant_ops().items():
+        op = ctx.dfg.operation(op_id)
+        if op.kind is OpKind.MOVE or is_comparison(op.kind):
+            continue  # MOVE is a wire by design; DFA003 owns comparisons
+        operands = cert.op_operands.get(op_id, ())
+        if all(f.is_const for f in operands):
+            continue  # a constant-folding (DFG-layer) concern instead
+        findings += 1
+        if findings > MAX_FINDINGS:
+            break
+        emit(f"{ctx.name}: {op_id} ({op.kind}) always computes "
+             f"{value} for every admitted input",
+             location=op_id,
+             hint="replace the operation with the constant and free "
+                  "its module binding")
+
+
+@rule("DFA003", layer="dataflow", severity=Severity.WARNING,
+      title="comparison outcome decided statically")
+def check_decided_comparisons(ctx: LintContext, emit: Emit) -> None:
+    """A comparison is proved always-true or always-false: one branch
+    of the control part is unreachable."""
+    cert = cached_dataflow(ctx)
+    if cert is None:
+        return
+    findings = 0
+    for op_id, value in cert.constant_ops().items():
+        op = ctx.dfg.operation(op_id)
+        if not is_comparison(op.kind):
+            continue
+        findings += 1
+        if findings > MAX_FINDINGS:
+            break
+        outcome = "true" if value else "false"
+        if op.dst is not None and op.dst == ctx.dfg.loop_condition:
+            detail = ("the loop never terminates" if value
+                      else "the loop body runs at most once")
+            hint = "a loop guard that cannot flip is a behavioural bug"
+        else:
+            detail = "the guarded control branch is unreachable"
+            hint = "remove the comparison or fix the operand ranges"
+        emit(f"{ctx.name}: {op_id} ({op.kind}) is always {outcome}; "
+             f"{detail}", location=op_id, hint=hint)
+
+
+@rule("DFA004", layer="dataflow", severity=Severity.INFO,
+      title="dead bits feed an output")
+def check_dead_output_bits(ctx: LintContext, emit: Emit) -> None:
+    """Bit positions of a primary output are proved constant: the
+    consumer receives bits that carry no information."""
+    cert = cached_dataflow(ctx)
+    if cert is None:
+        return
+    findings = 0
+    for var in ctx.dfg.outputs():
+        fact = cert.var_facts.get(var.name)
+        if fact is None or fact.known_mask == 0 or fact.is_const:
+            continue  # fully-constant outputs are DFA002 territory
+        findings += 1
+        if findings > MAX_FINDINGS:
+            break
+        emit(f"{ctx.name}: output {var.name!r} has "
+             f"{fact.known_bit_count()} of {cert.bits} bits proved "
+             f"constant (mask {fact.known_mask:#x})",
+             location=var.name,
+             hint="the constant bits need no routing; width narrowing "
+                  "exploits this automatically")
+
+
+@rule("DFA005", layer="dataflow", severity=Severity.INFO,
+      title="datapath width over-provisioned")
+def check_over_provisioned(ctx: LintContext, emit: Emit) -> None:
+    """No signal in the whole design ever fills the declared word
+    width — every module and register is wider than required."""
+    cert = cached_dataflow(ctx)
+    if cert is None:
+        return
+    required = cert.max_required_width()
+    if required >= cert.bits:
+        return
+    emit(f"{ctx.name}: datapath declared at {cert.bits} bits but the "
+         f"analysis proves {required} bits suffice everywhere",
+         hint="run width narrowing (repro-hlts dataflow) for the "
+              "area saving")
+
+
+@rule("DFA006", layer="dataflow", severity=Severity.ERROR,
+      title="certificate self-check failure")
+def check_certificate(ctx: LintContext, emit: Emit) -> None:
+    """The certificate's facts fail independent re-simulation — an
+    engine bug, never a property of the design."""
+    cert = cached_dataflow(ctx)
+    if cert is None or ctx.dfg is None:
+        return
+    for problem in cert.check(ctx.dfg, vectors=CHECK_VECTORS)[:MAX_FINDINGS]:
+        emit(f"{ctx.name}: dataflow certificate is unsound: {problem}",
+             hint="report this; a transfer function admitted too "
+                  "little — the concrete value escaped its abstraction")

@@ -126,13 +126,14 @@ def scenario_podem_budget_cancel(benchmark: str, bits: int,
                                  at_visit=5)):
         result = run_atpg(netlist, config, budget=budget)
     accounted = (result.detected + result.aborted_faults
-                 + result.untestable_faults)
+                 + result.untestable_faults
+                 + result.untestable_by_analysis)
     return _check([
         ("result tagged budget_exhausted", result.budget_exhausted),
         ("budget records the chaos cancellation",
          result.budget_reason == "chaos"),
-        ("fault accounting closes (detected + aborted + untestable)",
-         accounted == result.total_faults),
+        ("fault accounting closes (detected + aborted + untestable "
+         "+ pruned)", accounted == result.total_faults),
         ("partial run aborted the unattempted faults",
          result.aborted_faults >= 1),
     ])

@@ -117,3 +117,16 @@ class TestHarness:
     def test_render_sharing(self, cell):
         text = render_sharing(cell.design)
         assert "share" in text
+
+    def test_narrowed_cell_shrinks_area(self, cell):
+        quick = dict(bits=16, fault_fraction=0.05,
+                     random=RandomPhaseConfig(max_sequences=4, saturation=2,
+                                              sequence_length=12),
+                     max_backtracks=8)
+        narrowed = run_cell("ex", "ours",
+                            ExperimentConfig(narrow_widths=True,
+                                             narrow_input_bits=8, **quick))
+        plain = run_cell("ex", "ours", ExperimentConfig(**quick))
+        assert narrowed.row()["narrowed"] is True
+        assert plain.row()["narrowed"] is False
+        assert narrowed.area_mm2 < plain.area_mm2

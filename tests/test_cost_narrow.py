@@ -1,0 +1,136 @@
+"""Tests for certificate-driven width narrowing of the cost model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.dataflow import analyze_dataflow
+from repro.bench import load
+from repro.cost import CostModel, narrow_design
+from repro.cost.narrow import _node_width, proved_widths
+from repro.dfg import DFGBuilder
+from repro.etpn import default_design
+from repro.etpn.datapath import NodeKind
+
+
+def small_design():
+    b = DFGBuilder("narrowme")
+    b.inputs("a", "b")
+    b.op("N1", "+", "t", "a", "b")
+    b.op("N2", "*", "out", "t", "t")
+    b.outputs("out")
+    return default_design(b.build())
+
+
+class TestProvedWidths:
+    def test_widths_clamped_to_certificate_bits(self):
+        design = small_design()
+        cert = analyze_dataflow(design.dfg, 8)
+        module_width, register_width = proved_widths(design, cert)
+        assert module_width and register_width
+        assert all(1 <= w <= 8 for w in module_width.values())
+        assert all(1 <= w <= 8 for w in register_width.values())
+
+    def test_assumptions_shrink_module_widths(self):
+        design = small_design()
+        wide, _ = proved_widths(design, analyze_dataflow(design.dfg, 16))
+        tight, _ = proved_widths(
+            design, analyze_dataflow(design.dfg, 16,
+                                     assumptions={"a": (0, 3),
+                                                  "b": (0, 3)}))
+        assert sum(tight.values()) < sum(wide.values())
+
+    def test_module_width_covers_every_bound_op(self):
+        # A module shared by several ops must carry the widest of them.
+        design = small_design()
+        cert = analyze_dataflow(design.dfg, 8)
+        module_width, _ = proved_widths(design, cert)
+        for module, ops in design.binding.modules().items():
+            for op_id in ops:
+                if op_id in cert.op_facts:
+                    assert module_width[module] >= \
+                        min(8, cert.op_width(op_id))
+
+
+class TestNodeWidth:
+    def test_const_and_cond_nodes(self):
+        design = small_design()
+        cert = analyze_dataflow(design.dfg, 8)
+        mw, rw = proved_widths(design, cert)
+        dp = design.datapath
+        for node_id, node in dp.nodes.items():
+            w = _node_width(dp, node_id, cert, mw, rw)
+            if node.kind == NodeKind.COND:
+                assert w == 1
+            elif node.kind == NodeKind.CONST:
+                assert w == max(1, int(node.value or 0).bit_length())
+            else:
+                assert 1 <= w <= 8
+
+
+class TestNarrowDesign:
+    def test_applied_with_assumptions_saves_area(self):
+        design = small_design()
+        report = narrow_design(design, 16,
+                               assumptions={"a": (0, 15), "b": (0, 15)})
+        assert report.applied and report.equivalence_valid
+        assert report.reason == ""
+        assert report.narrowed.total_mm2 < report.baseline.total_mm2
+        assert report.area_delta_mm2 > 0
+        assert 0 < report.area_delta_pct < 100
+
+    def test_baseline_matches_cost_model(self):
+        design = small_design()
+        report = narrow_design(design, 16)
+        expected = CostModel(bits=16).hardware(design.datapath)
+        assert report.baseline.total_mm2 == expected.total_mm2
+
+    def test_precomputed_certificate_reused(self):
+        design = small_design()
+        cert = analyze_dataflow(design.dfg, 16,
+                                assumptions={"a": (0, 7), "b": (0, 7)})
+        report = narrow_design(design, 16, cert=cert)
+        assert report.certificate is cert
+        assert report.applied
+
+    def test_bits_mismatch_raises(self):
+        design = small_design()
+        cert = analyze_dataflow(design.dfg, 8)
+        with pytest.raises(ValueError, match="certificate width"):
+            narrow_design(design, 16, cert=cert)
+
+    def test_benchmark_narrowing_at_16_bits(self):
+        from repro.etpn.from_dfg import default_design as dd
+        design = dd(load("tseng"))
+        report = narrow_design(design, 16,
+                               assumptions={v.name: (0, 255)
+                                            for v in design.dfg.inputs()})
+        assert report.applied
+        assert report.area_delta_mm2 > 0
+
+    def test_to_dict_and_summary(self):
+        design = small_design()
+        report = narrow_design(design, 16,
+                               assumptions={"a": (0, 15), "b": (0, 15)})
+        data = report.to_dict()
+        assert data["applied"] is True
+        assert data["name"] == "narrowme" and data["bits"] == 16
+        assert data["narrowed_mm2"] < data["baseline_mm2"]
+        assert round(data["baseline_mm2"] - data["narrowed_mm2"], 6) == \
+            data["area_delta_mm2"]
+        assert "narrowme@16b" in report.summary()
+        assert "->" in report.summary()
+
+    def test_refused_summary_mentions_reason(self, monkeypatch):
+        import repro.analysis.equivalence as eq
+
+        class FakeCert:
+            valid = False
+            divergences = ["boom"]
+
+        monkeypatch.setattr(eq, "certify",
+                            lambda dfg, steps, binding: FakeCert())
+        report = narrow_design(small_design(), 8)
+        assert "refused" in report.summary()
+        assert report.to_dict()["applied"] is False
+        assert report.to_dict()["area_delta_mm2"] == 0.0

@@ -1,0 +1,239 @@
+"""Tests for the abstract domain: intervals × known bits.
+
+The soundness contract (every concrete result of ``apply_op`` on
+members of the operand abstractions is a member of the transferred
+abstraction) is brute-forced exhaustively at 3 bits over every
+operation kind, and the lattice operations (join, widen, reduce) are
+checked directly.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+
+import pytest
+
+from repro.analysis.dataflow import (AbstractValue, join, reduce, transfer,
+                                     widen)
+from repro.dfg.ops import OpKind, arity
+from repro.rtl.semantics import apply_op, mask
+
+ALL_KINDS = list(OpKind)
+
+
+def members(v: AbstractValue, bits: int) -> list[int]:
+    """Every concrete word the abstraction admits (small widths only)."""
+    return [x for x in range(mask(bits) + 1) if v.contains(x)]
+
+
+def random_abstractions(bits: int, rng: random.Random, count: int
+                        ) -> list[AbstractValue]:
+    """Non-empty reduced abstractions covering consts, ranges and bit
+    patterns."""
+    m = mask(bits)
+    out = [AbstractValue.top(bits)]
+    for _ in range(count):
+        lo = rng.randint(0, m)
+        hi = rng.randint(lo, m)
+        km = rng.randint(0, m)
+        witness = rng.randint(lo, hi)
+        out.append(reduce(lo, hi, km, witness & km, bits))
+    for value in range(min(m + 1, 8)):
+        out.append(AbstractValue.const(value, bits))
+    return [v for v in out if members(v, bits)]
+
+
+class TestAbstractValue:
+    def test_top_contains_everything(self):
+        top = AbstractValue.top(4)
+        assert all(top.contains(x) for x in range(16))
+        assert not top.is_const
+
+    def test_const_is_singleton(self):
+        c = AbstractValue.const(5, 4)
+        assert c.is_const and c.const_value == 5
+        assert members(c, 4) == [5]
+        assert c.known_bit_count() == 4
+
+    def test_const_wraps_to_width(self):
+        assert AbstractValue.const(21, 4).const_value == 5
+
+    def test_range_reduces_leading_zeros(self):
+        r = AbstractValue.range(0, 3, 8)
+        # Bits 2..7 are proved zero by the interval.
+        assert r.known_mask == 0xFC
+        assert r.known_value == 0
+        assert r.required_width() == 2
+
+    def test_bit_query(self):
+        v = AbstractValue.const(0b1010, 4)
+        assert [v.bit(i) for i in range(4)] == [0, 1, 0, 1]
+        assert AbstractValue.top(4).bit(0) is None
+
+    def test_tuple_round_trip(self):
+        v = AbstractValue.range(3, 9, 8)
+        assert AbstractValue.from_tuple(v.to_tuple()) == v
+
+    def test_required_width_minimum_one(self):
+        assert AbstractValue.const(0, 8).required_width() == 1
+
+
+class TestReduce:
+    def test_collapsed_interval_pins_bits(self):
+        v = reduce(6, 6, 0, 0, 4)
+        assert v.is_const and v.known_mask == 0xF and v.known_value == 6
+
+    def test_known_bits_clamp_interval(self):
+        # Bit 3 proved 1 forces lo >= 8.
+        v = reduce(0, 15, 0b1000, 0b1000, 4)
+        assert v.lo == 8
+
+    def test_reduce_is_sound(self):
+        bits = 4
+        rng = random.Random(7)
+        for _ in range(500):
+            lo = rng.randint(0, 15)
+            hi = rng.randint(lo, 15)
+            km = rng.randint(0, 15)
+            witness = rng.randint(lo, hi)
+            v = reduce(lo, hi, km, witness & km, bits)
+            for x in range(16):
+                if lo <= x <= hi and (x & km) == (witness & km):
+                    assert v.contains(x), (v, x)
+
+
+class TestJoinWiden:
+    def test_join_is_upper_bound(self):
+        bits = 4
+        rng = random.Random(11)
+        values = random_abstractions(bits, rng, 40)
+        for a, b in itertools.product(values[:20], values[:20]):
+            j = join(a, b, bits)
+            for x in members(a, bits) + members(b, bits):
+                assert j.contains(x)
+
+    def test_widen_covers_join_and_terminates(self):
+        bits = 8
+        rng = random.Random(13)
+        values = random_abstractions(bits, rng, 30)
+        for a, b in zip(values, values[1:]):
+            w = widen(a, b, bits)
+            j = join(a, b, bits)
+            assert w.lo <= j.lo and w.hi >= j.hi
+            # Widening is idempotent from the widened point.
+            assert widen(w, join(w, b, bits), bits) == widen(
+                w, join(w, b, bits), bits)
+
+    def test_widen_growing_bound_jumps_past_the_join(self):
+        # The growing bound jumps to its extreme; the known-bits
+        # component (both operands fit 4 bits) clamps it back to 15 —
+        # still strictly past the join's hi of 11.
+        a = AbstractValue.range(0, 10, 8)
+        b = AbstractValue.range(0, 11, 8)
+        assert widen(a, b, 8).hi == 15
+        c = AbstractValue.range(5, 10, 8)
+        d = AbstractValue.range(4, 10, 8)
+        assert widen(c, d, 8).lo == 0
+
+    def test_widen_chain_terminates_quickly(self):
+        # A bound growing by one each step must stabilise in O(1)
+        # widenings, not O(2**bits).
+        bits = 16
+        current = AbstractValue.range(0, 1, bits)
+        for step in range(2, 40):
+            nxt = widen(current, AbstractValue.range(0, step, bits), bits)
+            if nxt == current:
+                break
+            current = nxt
+        else:
+            raise AssertionError("widening chain did not stabilise")
+        assert step < 10
+
+
+class TestTransferSoundness:
+    """The exhaustive contract: 3 bits, every kind, every member."""
+
+    BITS = 3
+
+    @pytest.mark.parametrize("kind", ALL_KINDS, ids=str)
+    def test_exhaustive_small_width(self, kind):
+        bits = self.BITS
+        rng = random.Random(hash(kind.name) & 0xFFFF)
+        values = random_abstractions(bits, rng, 25)
+        for a, b in itertools.product(values, values):
+            result = transfer(kind, a, b, bits)
+            bs = [0] if arity(kind) == 1 else members(b, bits)
+            for av in members(a, bits):
+                for bv in bs:
+                    concrete = apply_op(kind, av, bv, bits)
+                    assert result.contains(concrete), (
+                        f"{kind} {a} {b}: {av}op{bv}={concrete} "
+                        f"escapes {result}")
+
+    def test_const_operands_match_reference(self):
+        bits = 5
+        for kind in ALL_KINDS:
+            for av, bv in [(3, 4), (0, 0), (31, 31), (17, 2)]:
+                a = AbstractValue.const(av, bits)
+                b = AbstractValue.const(bv, bits)
+                result = transfer(kind, a, b, bits)
+                expected = apply_op(kind, av, 0 if arity(kind) == 1 else bv,
+                                    bits)
+                assert result.is_const and result.const_value == expected
+
+
+class TestTransferPrecision:
+    """Precision floors: facts the engine's consumers rely on."""
+
+    def test_add_of_small_ranges_stays_exact(self):
+        a = AbstractValue.range(0, 10, 8)
+        b = AbstractValue.range(5, 20, 8)
+        r = transfer(OpKind.ADD, a, b, 8)
+        assert (r.lo, r.hi) == (5, 30)
+
+    def test_and_with_mask_proves_zeros(self):
+        a = AbstractValue.top(8)
+        b = AbstractValue.const(0x0F, 8)
+        r = transfer(OpKind.AND, a, b, 8)
+        assert r.known_mask & 0xF0 == 0xF0
+        assert r.required_width() <= 4
+
+    def test_decided_comparison_is_constant(self):
+        a = AbstractValue.range(0, 3, 8)
+        b = AbstractValue.range(10, 20, 8)
+        assert transfer(OpKind.LT, a, b, 8).const_value == 1
+        assert transfer(OpKind.GT, a, b, 8).const_value == 0
+        assert transfer(OpKind.EQ, a, b, 8).const_value == 0
+
+    def test_undecided_comparison_is_boolean(self):
+        r = transfer(OpKind.LT, AbstractValue.top(8), AbstractValue.top(8), 8)
+        assert (r.lo, r.hi) == (0, 1)
+        assert r.known_mask == 0xFE  # high bits proved zero
+
+    def test_shl_by_const_keeps_low_zeros(self):
+        r = transfer(OpKind.SHL, AbstractValue.top(8),
+                     AbstractValue.const(3, 8), 8)
+        assert r.known_mask & 0b111 == 0b111
+        assert r.known_value & 0b111 == 0
+
+    def test_shr_by_const_clears_high_bits(self):
+        r = transfer(OpKind.SHR, AbstractValue.top(8),
+                     AbstractValue.const(3, 8), 8)
+        assert r.hi == 31
+
+    def test_mul_preserves_trailing_known_bits(self):
+        a = transfer(OpKind.SHL, AbstractValue.top(8),
+                     AbstractValue.const(2, 8), 8)  # low 2 bits zero
+        r = transfer(OpKind.MUL, a, a, 8)
+        assert r.known_mask & 0b11 == 0b11
+        assert r.known_value & 0b11 == 0
+
+    def test_div_by_zero_saturates(self):
+        r = transfer(OpKind.DIV, AbstractValue.top(8),
+                     AbstractValue.const(0, 8), 8)
+        assert r.is_const and r.const_value == 255
+
+    def test_move_is_identity(self):
+        v = AbstractValue.range(2, 9, 8)
+        assert transfer(OpKind.MOVE, v, AbstractValue.const(0, 8), 8) == v

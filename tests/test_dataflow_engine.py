@@ -1,0 +1,145 @@
+"""Tests for the dataflow fixpoint engine and its certificate."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.dataflow import (DataflowCertificate, analyze_dataflow,
+                                     infer_feedback)
+from repro.bench import load, names
+from repro.dfg import DFGBuilder
+
+
+def straight_line():
+    b = DFGBuilder("straight")
+    b.inputs("a", "b")
+    b.op("N1", "+", "t", "a", "b")
+    b.op("N2", "*", "out", "t", 2)
+    b.outputs("out")
+    return b.build()
+
+
+def looped():
+    """Diffeq-style loop: x1 feeds x back across the ETPN back-edge."""
+    b = DFGBuilder("looped")
+    b.inputs("x", "dx", "a")
+    b.op("N1", "+", "x1", "x", "dx")
+    b.op("N2", "<", "c", "x1", "a")
+    b.loop("c")
+    b.outputs("x1")
+    return b.build()
+
+
+class TestInferFeedback:
+    def test_straight_line_has_no_feedback(self):
+        assert infer_feedback(straight_line()) == {}
+
+    def test_loop_maps_next_state_to_input(self):
+        assert infer_feedback(looped()) == {"x1": "x"}
+
+    def test_diffeq_benchmark_feedback(self):
+        fb = infer_feedback(load("diffeq"))
+        # x1/y1/u1 are loop-carried; a1 exists but 'a' stays invariant
+        # only when it is an input too — the map must be input-rooted.
+        for out_var, in_var in fb.items():
+            assert out_var == in_var + "1"
+
+
+class TestAnalyzeDataflow:
+    def test_straight_line_single_pass(self):
+        cert = analyze_dataflow(straight_line(), 8)
+        assert cert.loop_iterations == 1
+        assert not cert.widened and not cert.feedback
+        assert set(cert.op_facts) == {"N1", "N2"}
+
+    def test_assumptions_are_clamped_and_recorded(self):
+        cert = analyze_dataflow(straight_line(), 8,
+                                assumptions={"a": (-5, 9999), "b": (1, 2)})
+        assert cert.assumptions["a"] == (0, 255)
+        assert cert.assumptions["b"] == (1, 2)
+
+    def test_assumptions_tighten_facts(self):
+        wide = analyze_dataflow(straight_line(), 16)
+        tight = analyze_dataflow(straight_line(), 16,
+                                 assumptions={"a": (0, 3), "b": (0, 3)})
+        assert tight.op_facts["N1"].hi <= 6
+        assert tight.max_required_width() < wide.max_required_width()
+
+    def test_loop_fixpoint_converges(self):
+        cert = analyze_dataflow(looped(), 8)
+        assert cert.feedback == {"x1": "x"}
+        assert 1 <= cert.loop_iterations <= 48
+        # The fed-back value can reach the full range, so the entry
+        # fact for x must cover whatever N1 produces.
+        assert cert.check(looped(), vectors=64) == []
+
+    def test_forced_straight_line_analysis(self):
+        cert = analyze_dataflow(looped(), 8, feedback={})
+        assert cert.feedback == {}
+        assert cert.loop_iterations == 1
+
+    def test_bogus_feedback_names_are_dropped(self):
+        cert = analyze_dataflow(looped(), 8,
+                                feedback={"ghost": "x", "x1": "phantom"})
+        assert cert.feedback == {}
+
+    @pytest.mark.parametrize("bench_name", sorted(names()))
+    @pytest.mark.parametrize("bits", [4, 8, 16])
+    def test_every_benchmark_certificate_checks(self, bench_name, bits):
+        dfg = load(bench_name)
+        cert = analyze_dataflow(dfg, bits)
+        assert cert.check(dfg, vectors=64) == []
+
+    def test_certificate_round_trip(self):
+        cert = analyze_dataflow(load("diffeq"), 8)
+        clone = DataflowCertificate.from_dict(cert.to_dict())
+        assert clone == cert
+        assert clone.check(load("diffeq"), vectors=16) == []
+
+
+class TestCertificateCheck:
+    def test_tampered_fact_is_caught(self):
+        dfg = straight_line()
+        cert = analyze_dataflow(dfg, 8)
+        from repro.analysis.dataflow import AbstractValue
+        cert.op_facts["N1"] = AbstractValue.const(0, 8)
+        problems = cert.check(dfg, vectors=32)
+        assert problems and any("N1" in p for p in problems)
+
+    def test_tampered_var_fact_is_caught(self):
+        dfg = straight_line()
+        cert = analyze_dataflow(dfg, 8)
+        from repro.analysis.dataflow import AbstractValue
+        cert.var_facts["out"] = AbstractValue.range(0, 1, 8)
+        assert cert.check(dfg, vectors=32)
+
+    def test_check_respects_assumptions(self):
+        dfg = straight_line()
+        cert = analyze_dataflow(dfg, 8, assumptions={"a": (0, 1),
+                                                     "b": (0, 1)})
+        # Facts are tight under the assumptions; the checker must draw
+        # vectors inside them, so no false escapes.
+        assert cert.check(dfg, vectors=128) == []
+
+    def test_check_caps_problem_list(self):
+        dfg = straight_line()
+        cert = analyze_dataflow(dfg, 8)
+        from repro.analysis.dataflow import AbstractValue
+        for op_id in cert.op_facts:
+            cert.op_facts[op_id] = AbstractValue.const(0, 8)
+        for var in cert.var_facts:
+            cert.var_facts[var] = AbstractValue.const(0, 8)
+        assert len(cert.check(dfg, vectors=256)) <= 25
+
+    def test_summary_mentions_loop(self):
+        cert = analyze_dataflow(looped(), 8)
+        assert "loop fixpoint" in cert.summary()
+        assert "looped@8b" in cert.summary()
+
+    def test_widths_queries(self):
+        cert = analyze_dataflow(straight_line(), 8,
+                                assumptions={"a": (0, 3), "b": (0, 3)})
+        assert cert.op_width("N1") <= 3
+        assert cert.var_width("t") <= 3
+        assert cert.var_width("unknown") == 8
+        assert cert.max_required_width() <= 5

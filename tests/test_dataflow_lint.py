@@ -1,0 +1,128 @@
+"""Tests for the dataflow lint layer (DFA001-DFA006)."""
+
+from __future__ import annotations
+
+from repro.analysis.dataflow import AbstractValue, analyze_dataflow
+from repro.bench import load, names
+from repro.dfg import DFGBuilder
+from repro.lint import (LintReport, Severity, all_rules, lint_dataflow,
+                        lint_design)
+from repro.lint.registry import LintContext, run_layer
+from repro.lint.rules_dataflow import CERTIFICATE_KEY, cached_dataflow
+
+
+def codes(report: LintReport) -> set[str]:
+    return {d.code for d in report}
+
+
+def pathological():
+    """One 4-bit DFG tripping DFA001/002/003/004 at once.
+
+    * N2 adds two values whose minimum sum exceeds 15 (DFA001);
+    * N3 ANDs with 0 — always-constant non-trivial result (DFA002);
+    * N4 compares provably-ordered ranges (DFA003);
+    * output ``low`` keeps proved-constant high bits (DFA004).
+    """
+    b = DFGBuilder("path")
+    b.inputs("a")
+    b.op("N1", "|", "big", "a", 12)         # big in [12, 15]
+    b.op("N2", "+", "wrap", "big", "big")   # min sum 24 > 15
+    b.op("N3", "&", "zero", "a", 0)         # always 0
+    b.op("N4", "<", "c", "zero", 1)         # always true (0 < 1)
+    b.op("N5", ">>", "low", "a", 2)         # high bits proved 0
+    b.outputs("wrap", "zero", "low")
+    return b.build()
+
+
+class TestRegistration:
+    def test_dfa_rules_registered(self):
+        registered = {r.code for r in all_rules()}
+        assert {"DFA001", "DFA002", "DFA003", "DFA004", "DFA005",
+                "DFA006"} <= registered
+
+    def test_dfa_layer_and_severities(self):
+        by_code = {r.code: r for r in all_rules()
+                   if r.code.startswith("DFA")}
+        assert all(r.layer == "dataflow" for r in by_code.values())
+        assert by_code["DFA006"].severity is Severity.ERROR
+        assert by_code["DFA001"].severity is Severity.WARNING
+        assert by_code["DFA004"].severity is Severity.INFO
+
+
+class TestRules:
+    def test_pathological_design_trips_value_rules(self):
+        report = lint_dataflow(pathological(), bits=4)
+        found = codes(report)
+        assert {"DFA001", "DFA002", "DFA003", "DFA004"} <= found
+        assert "DFA006" not in found  # the certificate itself is sound
+
+    def test_over_provisioned_width(self):
+        # With unconstrained inputs the entry facts span the full word,
+        # so DFA005 fires through a certificate carrying input
+        # assumptions (what the CLI's --input-bits produces).
+        b = DFGBuilder("narrow")
+        b.inputs("a", "b")
+        b.op("N1", "+", "out", "a", "b")
+        b.outputs("out")
+        dfg = b.build()
+        ctx = LintContext(name=dfg.name, dfg=dfg, bits=16)
+        ctx.cache[CERTIFICATE_KEY] = analyze_dataflow(
+            dfg, 16, assumptions={"a": (0, 3), "b": (0, 3)})
+        report = run_layer("dataflow", ctx)
+        assert "DFA005" in codes(report)
+
+    def test_benchmarks_have_no_dataflow_errors(self):
+        for name in names():
+            report = lint_dataflow(load(name), bits=8)
+            assert not report.errors(), (name, report.summary())
+
+    def test_loop_condition_gets_special_message(self):
+        b = DFGBuilder("foreverloop")
+        b.inputs("x", "dx")
+        b.op("N1", "+", "x1", "x", "dx")
+        b.op("N2", ">=", "c", "x1", 0)  # always true: never terminates
+        b.loop("c")
+        b.outputs("x1")
+        report = lint_dataflow(b.build(), bits=8)
+        dfa3 = [d for d in report if d.code == "DFA003"]
+        assert dfa3 and "never terminates" in dfa3[0].message
+
+    def test_unsound_certificate_trips_dfa006(self):
+        dfg = pathological()
+        ctx = LintContext(name=dfg.name, dfg=dfg, bits=4)
+        cert = analyze_dataflow(dfg, 4)
+        # Poison one fact so independent re-simulation must catch it.
+        cert.op_facts["N1"] = AbstractValue.const(0, 4)
+        ctx.cache[CERTIFICATE_KEY] = cert
+        report = run_layer("dataflow", ctx)
+        assert "DFA006" in codes(report)
+
+
+class TestMemoisation:
+    def test_certificate_computed_once_per_context(self):
+        dfg = pathological()
+        ctx = LintContext(name=dfg.name, dfg=dfg, bits=4)
+        first = cached_dataflow(ctx)
+        assert first is not None
+        assert cached_dataflow(ctx) is first
+        assert ctx.cache[CERTIFICATE_KEY] is first
+
+    def test_no_dfg_yields_no_certificate(self):
+        ctx = LintContext(name="empty", dfg=None, bits=8)
+        assert cached_dataflow(ctx) is None
+        report = run_layer("dataflow", ctx)
+        assert not list(report)
+
+
+class TestDesignIntegration:
+    def test_lint_design_runs_dataflow_layer(self):
+        from repro.etpn import default_design
+        design = default_design(pathological())
+        report = lint_design(design, bits=4)
+        assert "DFA001" in codes(report)
+
+    def test_lint_design_default_bits_clean_benchmark(self):
+        from repro.etpn import default_design
+        report = lint_design(default_design(load("diffeq")), bits=8)
+        assert not [d for d in report if d.code.startswith("DFA")
+                    and d.severity is Severity.ERROR]

@@ -130,7 +130,8 @@ class TestKernelIntegration:
         assert result.budget_exhausted
         assert result.budget_reason == REASON_STEPS
         assert (result.detected + result.aborted_faults
-                + result.untestable_faults) == result.total_faults
+                + result.untestable_faults
+                + result.untestable_by_analysis) == result.total_faults
         assert result.summary()["budget_exhausted"] is True
 
     def test_atpg_wall_seconds_config(self):
