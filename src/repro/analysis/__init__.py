@@ -29,6 +29,14 @@ two tiers agree.  :func:`analyze_design` bundles everything for one
 design point; the ``repro-hlts analyze`` CLI subcommand, the
 ``analysis`` lint layer and ``SynthesisParams(verify_mergers=True)``
 all go through it.
+
+:mod:`repro.analysis.timing` extends the family below the RTL:
+:func:`analyze_timing` runs deterministic static timing analysis over
+the expanded gate netlist (arrivals, slack, false-path pruning,
+incremental :class:`ConeCache`), the ``timing`` lint layer and
+``repro-hlts timing`` expose it, and
+``SynthesisParams(check_timing=True)`` gates module mergers on
+:func:`merged_module_fits`.
 """
 
 from .dataflow import (AbstractValue, DataflowCertificate, analyze_dataflow,
@@ -42,12 +50,18 @@ from .structural import (Invariant, SiphonWitness, StructuralCertificate,
                          Verdict, structural_certificate)
 from .tiers import (Tier, TierDecision, TieredAnalysis, cross_check,
                     stuck_markings)
+from .timing import (ConeCache, DEFAULT_TABLE, DelayTable, TimingReport,
+                     analyze_timing, default_period, merged_module_fits)
 from .verify import AnalysisResult, analyze_design, merger_preserves_semantics
 
 __all__ = [
     "AbstractValue",
     "AnalysisResult",
     "COMMUTATIVE",
+    "ConeCache",
+    "DEFAULT_TABLE",
+    "DelayTable",
+    "TimingReport",
     "ConcurrencyAnalysis",
     "DataflowCertificate",
     "Divergence",
@@ -67,9 +81,12 @@ __all__ = [
     "Verdict",
     "analyze_dataflow",
     "analyze_design",
+    "analyze_timing",
     "certify",
     "cross_check",
+    "default_period",
     "infer_feedback",
+    "merged_module_fits",
     "merger_preserves_semantics",
     "stuck_markings",
     "structural_certificate",

@@ -1,0 +1,95 @@
+"""The cost-model timing hook for Algorithm 1's merger loop.
+
+A module merger makes one physical unit implement every op kind of the
+two merged modules; the expander then builds each kind's logic, gates
+it by the op select and ORs the results
+(:meth:`repro.gates.expand._Expander._expand_unit`).  That structure is
+deeper than either original module, and a period that closed timing
+before the merger may no longer close it after.  With
+``SynthesisParams(check_timing=True)`` the ΔC estimator consults
+:func:`merged_module_fits` and rejects candidates whose merged module
+would break the clock period — the slack-feedback loop of
+Ye et al. (arXiv 2401.12343), here as a static gate per candidate.
+
+:func:`module_depth` measures the merged structure on a scratch netlist
+built with the *same* word-level constructions the expander uses, and
+is memoised per ``(kinds, bits, table)`` — across a synthesis run the
+handful of distinct kind sets is priced once, so the gate costs
+microseconds per candidate, not a netlist expansion.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Optional
+
+from ...cost.library import DEFAULT_LIBRARY, ModuleLibrary
+from ...dfg.ops import OpKind, unit_class
+from ...gates.expand import _op_word
+from ...gates.netlist import GateNetlist, SOURCE_TYPES
+from ...gates.words import gated_word, input_word, or_words
+from .delays import DEFAULT_TABLE, DelayTable, default_period, mux_depth
+
+
+@lru_cache(maxsize=None)
+def module_depth(kinds: frozenset[OpKind], bits: int,
+                 table: DelayTable = DEFAULT_TABLE) -> float:
+    """Longest path through a module implementing ``kinds``.
+
+    Mirrors the expander: one result word per kind, each gated by its
+    op-select enable, joined by a word-level OR — single-kind modules
+    skip the gating, exactly like :meth:`_Expander._expand_unit`.
+    """
+    net = GateNetlist(f"module:{'/'.join(sorted(k.name for k in kinds))}")
+    a = input_word(net, "a", bits)
+    b = input_word(net, "b", bits)
+    ordered = sorted(kinds, key=lambda k: k.name)
+    if len(ordered) == 1:
+        out = _op_word(net, ordered[0], a, b)
+    else:
+        results = []
+        for kind in ordered:
+            enable = net.add_input(f"op_{kind.name}")
+            results.append(gated_word(net, enable,
+                                      _op_word(net, kind, a, b)))
+        out = or_words(net, results)
+    depth = [0.0] * len(net.gates)
+    for gate in net.gates:
+        if gate.gtype in SOURCE_TYPES:
+            continue
+        depth[gate.gid] = (max(depth[f] for f in gate.fanins)
+                           + table.gate_delay(gate.gtype, len(gate.fanins)))
+    return max((depth[g] for g in out), default=0.0)
+
+
+def _interconnect(sources: int, table: DelayTable) -> float:
+    """Register-to-register overhead around the module: clk→Q, the
+    operand and result one-hot muxes sized for ``sources`` inputs, the
+    load 2:1 mux and the setup margin."""
+    load_mux = table.and_ + table.or_
+    return (table.clk_q + 2 * mux_depth(sources, table) + load_mux
+            + table.setup)
+
+
+def merged_module_fits(design, module: str, bits: int, *,
+                       table: DelayTable = DEFAULT_TABLE,
+                       library: ModuleLibrary = DEFAULT_LIBRARY,
+                       period: Optional[float] = None) -> bool:
+    """Does ``module``'s critical path close timing at ``period``?
+
+    The budget is ``period × delay_steps`` of the slowest unit class
+    the module's kinds span; ``period=None`` uses the library-derived
+    default, at which every mergeable structure fits by construction —
+    the hook then only bites when a caller supplies a real (tighter)
+    clock.
+    """
+    ops = design.binding.ops_on(module)
+    if not ops:
+        return True
+    kinds = frozenset(design.dfg.operation(op).kind for op in ops)
+    if period is None:
+        period = default_period(bits, table, library)
+    steps = max(library.unit_delay(unit_class(k)) for k in kinds)
+    depth = (module_depth(kinds, bits, table)
+             + _interconnect(max(1, len(ops)), table))
+    return depth <= period * steps + 1e-9

@@ -1,0 +1,244 @@
+"""The gate delay table and its derivation from the module library.
+
+The cost library (:mod:`repro.cost.library`) models every unit's delay
+as a whole number of control steps (``ModuleParams.delay_steps``); the
+gate netlists the expander emits carry no timing at all.  This module
+closes the gap with a normalised per-gate-type delay table whose unit
+is one "gate delay" (a 2-input AND = 1.0), and *derives* the clock
+period the library's whole-step model implies: for every unit class,
+the measured longest combinational path through the class's gate
+structure (:func:`class_depth`, built with the exact word-level
+constructions :mod:`repro.gates.expand` uses) plus the per-step
+interconnect overhead (register clk→Q, operand/result one-hot muxes,
+op-select gating, load mux, setup) must fit in
+``delay_steps × period``.  :func:`default_period` is the smallest
+period (plus a small headroom) that satisfies every class at a given
+bit width — the period at which the library and the netlist *agree*.
+
+:func:`library_disagreements` runs the same computation in reverse:
+given a user-chosen period, it reports every unit class whose measured
+depth implies more control steps than the library's ``delay_steps``
+claims (lint rule ``TIM005``).
+
+Depth measurements are memoised per ``(kind, bits, table)`` — the
+table is a frozen, hashable dataclass — so repeated analyses price the
+scratch netlists once.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from functools import lru_cache
+
+from ...cost.library import DEFAULT_LIBRARY, ModuleLibrary
+from ...dfg.ops import OpKind, UnitClass, unit_class
+from ...gates.expand import _op_word
+from ...gates.netlist import GateNetlist, GateType, SOURCE_TYPES
+from ...gates.words import input_word
+
+#: Headroom multiplier on the derived minimum period, so float noise in
+#: a measured depth never turns the derived default into a violation.
+PERIOD_HEADROOM = 1.05
+
+#: Operand/result one-hot muxes are priced for this many sources per
+#: step (AND plus a chain of ``allowance - 1`` OR gates).  Merged
+#: designs on the paper's benchmarks stay well under it.
+MUX_FANIN_ALLOWANCE = 12
+
+#: Result gating on a merged multi-kind module: the op-select AND plus
+#: an OR join across this many kinds.
+KIND_ALLOWANCE = 4
+
+
+@dataclass(frozen=True)
+class DelayTable:
+    """Per-gate-type delays in normalised gate units (AND2 = 1.0).
+
+    ``fanin_step`` is added once per input beyond the second;
+    ``clk_q``/``setup`` bound the sequential ends of a path (launch
+    delay of a DFF Q, latching margin at a DFF D).
+    """
+
+    buf: float = 0.30
+    not_: float = 0.40
+    and_: float = 1.00
+    or_: float = 1.10
+    nand: float = 0.70
+    nor: float = 0.90
+    xor: float = 1.60
+    xnor: float = 1.70
+    fanin_step: float = 0.15
+    clk_q: float = 0.80
+    setup: float = 0.50
+
+    def base_delay(self, gtype: GateType) -> float:
+        """The 2-input (or unary) delay of one combinational type."""
+        if gtype is GateType.BUF:
+            return self.buf
+        if gtype is GateType.NOT:
+            return self.not_
+        if gtype is GateType.AND:
+            return self.and_
+        if gtype is GateType.OR:
+            return self.or_
+        if gtype is GateType.NAND:
+            return self.nand
+        if gtype is GateType.NOR:
+            return self.nor
+        if gtype is GateType.XOR:
+            return self.xor
+        if gtype is GateType.XNOR:
+            return self.xnor
+        raise ValueError(f"no delay for non-combinational {gtype}")
+
+    def gate_delay(self, gtype: GateType, fanin_count: int = 2) -> float:
+        """Propagation delay of one gate with ``fanin_count`` inputs."""
+        return (self.base_delay(gtype)
+                + self.fanin_step * max(0, fanin_count - 2))
+
+    def validate(self) -> list[str]:
+        """Problems that make longest-path analysis unsound.
+
+        A zero or negative combinational delay admits zero-delay loops
+        (a cycle of such gates accumulates no delay, so "longest path"
+        stops bounding settling time); negative sequential margins make
+        slack meaningless.
+        """
+        problems = []
+        for gtype in GateType:
+            if gtype in SOURCE_TYPES or gtype is GateType.DFF:
+                continue
+            if self.base_delay(gtype) <= 0.0:
+                problems.append(
+                    f"{gtype.value} delay {self.base_delay(gtype)} is not "
+                    f"positive: zero-delay loops would be unbounded")
+        if self.fanin_step < 0.0:
+            problems.append(f"fanin_step {self.fanin_step} is negative")
+        if self.clk_q < 0.0:
+            problems.append(f"clk_q {self.clk_q} is negative")
+        if self.setup < 0.0:
+            problems.append(f"setup {self.setup} is negative")
+        return problems
+
+
+#: The table every analysis uses unless a caller overrides it.
+DEFAULT_TABLE = DelayTable()
+
+#: Operand shapes per kind: unary kinds read one word.
+_UNARY_KINDS = frozenset({OpKind.NOT, OpKind.MOVE})
+
+
+@lru_cache(maxsize=None)
+def kind_depth(kind: OpKind, bits: int,
+               table: DelayTable = DEFAULT_TABLE) -> float:
+    """Longest combinational path, in gate units, through one op kind.
+
+    Measured on a scratch netlist built with the *same* word-level
+    constructions the RTL expander instantiates
+    (:func:`repro.gates.expand._op_word`), so the number is the depth
+    of the real hardware, not a model of it.
+    """
+    net = GateNetlist(f"depth:{kind.name}:{bits}")
+    a = input_word(net, "a", bits)
+    b = input_word(net, "b", bits)
+    out = _op_word(net, kind, a, b)
+    depth = [0.0] * len(net.gates)
+    for gate in net.gates:
+        if gate.gtype in SOURCE_TYPES:
+            continue
+        depth[gate.gid] = (max(depth[f] for f in gate.fanins)
+                           + table.gate_delay(gate.gtype, len(gate.fanins)))
+    return max((depth[g] for g in out), default=0.0)
+
+
+@lru_cache(maxsize=None)
+def class_depth(cls: UnitClass, bits: int,
+                table: DelayTable = DEFAULT_TABLE) -> float:
+    """Longest path through any op kind a unit of ``cls`` implements."""
+    kinds = [k for k in OpKind if unit_class(k) is cls]
+    return max(kind_depth(k, bits, table) for k in kinds)
+
+
+def mux_depth(sources: int, table: DelayTable = DEFAULT_TABLE) -> float:
+    """Data-path depth of a ``sources``-input one-hot mux.
+
+    One select AND per source, then an OR chain joining the terms
+    (:func:`repro.gates.words.onehot_mux_word` builds the chain
+    linearly).  A single source is a plain wire.
+    """
+    if sources <= 1:
+        return 0.0
+    return table.and_ + (sources - 1) * table.or_
+
+
+def step_overhead(table: DelayTable = DEFAULT_TABLE,
+                  mux_fanin: int = MUX_FANIN_ALLOWANCE,
+                  kinds: int = KIND_ALLOWANCE) -> float:
+    """Non-unit delay of one register-to-register control step.
+
+    clk→Q launch, the operand one-hot mux, op-select gating plus the
+    result OR join of a merged ``kinds``-kind module, the register's
+    source one-hot mux, the load 2:1 mux (AND + OR on the data path)
+    and the setup margin.
+    """
+    gating = (table.and_ + (kinds - 1) * table.or_) if kinds > 1 else 0.0
+    load_mux = table.and_ + table.or_
+    return (table.clk_q + mux_depth(mux_fanin, table) + gating
+            + mux_depth(mux_fanin, table) + load_mux + table.setup)
+
+
+def chain_allowance(bits: int, table: DelayTable = DEFAULT_TABLE,
+                    library: ModuleLibrary = DEFAULT_LIBRARY) -> float:
+    """Gate units one control step must accommodate at ``bits``.
+
+    The slowest single-step unit class (measured depth divided by the
+    library's ``delay_steps`` for multi-cycle units) plus the step
+    overhead.  Lint rule ``TIM006`` flags endpoints beyond this even
+    when a generous user-chosen period hides the chaining.
+    """
+    worst = max(class_depth(cls, bits, table) / library.unit_delay(cls)
+                for cls in library.units)
+    return worst + step_overhead(table)
+
+
+def default_period(bits: int, table: DelayTable = DEFAULT_TABLE,
+                   library: ModuleLibrary = DEFAULT_LIBRARY) -> float:
+    """The clock period the library's step model implies at ``bits``.
+
+    The smallest period at which every unit class closes timing in its
+    declared ``delay_steps``, with :data:`PERIOD_HEADROOM` margin.
+    """
+    return round(chain_allowance(bits, table, library) * PERIOD_HEADROOM, 3)
+
+
+def implied_steps(cls: UnitClass, bits: int, period: float,
+                  table: DelayTable = DEFAULT_TABLE) -> int:
+    """Control steps one ``cls`` execution needs at ``period``."""
+    if period <= 0.0:
+        return 0
+    total = class_depth(cls, bits, table) + step_overhead(table)
+    return max(1, math.ceil(total / period - 1e-9))
+
+
+def library_disagreements(bits: int, period: float,
+                          table: DelayTable = DEFAULT_TABLE,
+                          library: ModuleLibrary = DEFAULT_LIBRARY
+                          ) -> list[str]:
+    """Unit classes whose measured depth contradicts the library.
+
+    At the configured period a class needing more steps than the
+    library's ``delay_steps`` would be scheduled too optimistically —
+    every design priced with that library is suspect (``TIM005``).
+    """
+    if period <= 0.0:
+        return [f"period {period} is not positive"]
+    found = []
+    for cls in library.units:
+        implied = implied_steps(cls, bits, period, table)
+        declared = library.unit_delay(cls)
+        if implied > declared:
+            found.append(
+                f"{cls.value}: measured depth implies {implied} step(s) at "
+                f"period {period:g} but the library declares {declared}")
+    return found

@@ -26,50 +26,11 @@ regions of the data path to fixed values.
 
 from __future__ import annotations
 
-from typing import Optional
-
 from ..gates.netlist import GateNetlist, GateType
+from ..gates.ternary import Ternary, eval_gate
 from .faults import Fault
 
-#: Ternary line value: 0, 1 or None (X).
-Ternary = Optional[int]
-
-
-def _eval_gate(gtype: GateType, values: list[Ternary]) -> Ternary:
-    """Ternary evaluation of one combinational gate."""
-    if gtype is GateType.BUF:
-        return values[0]
-    if gtype is GateType.NOT:
-        v = values[0]
-        return None if v is None else 1 - v
-    if gtype in (GateType.AND, GateType.NAND):
-        if any(v == 0 for v in values):
-            out: Ternary = 0
-        elif all(v == 1 for v in values):
-            out = 1
-        else:
-            out = None
-        if gtype is GateType.NAND and out is not None:
-            out = 1 - out
-        return out
-    if gtype in (GateType.OR, GateType.NOR):
-        if any(v == 1 for v in values):
-            out = 1
-        elif all(v == 0 for v in values):
-            out = 0
-        else:
-            out = None
-        if gtype is GateType.NOR and out is not None:
-            out = 1 - out
-        return out
-    if gtype in (GateType.XOR, GateType.XNOR):
-        if any(v is None for v in values):
-            return None
-        acc = 0
-        for v in values:
-            acc ^= v  # type: ignore[operator]
-        return acc if gtype is GateType.XOR else 1 - acc
-    raise ValueError(f"not a combinational gate: {gtype}")  # pragma: no cover
+__all__ = ["Ternary", "constant_lines", "prune_untestable"]
 
 
 def _propagate(netlist: GateNetlist,
@@ -86,7 +47,7 @@ def _propagate(netlist: GateNetlist,
         elif gate.gtype is GateType.DFF:
             values[gate.gid] = dff_state[gate.gid]
         else:
-            values[gate.gid] = _eval_gate(
+            values[gate.gid] = eval_gate(
                 gate.gtype, [values[f] for f in gate.fanins])
     return values
 

@@ -14,7 +14,10 @@ Examples::
     repro-hlts analyze --structural   # invariant certificates only, no BFS
     repro-hlts analyze --cross-check  # assert both tiers agree
     repro-hlts dataflow diffeq --bits 8 --narrow
+    repro-hlts timing                 # STA every benchmark, default period
+    repro-hlts timing tseng --flow ours --period 150 -v
     repro-hlts bench-dataflow         # write BENCH_dataflow.json
+    repro-hlts bench-timing           # write BENCH_timing.json
     repro-hlts bench-analysis         # time structural vs enumerative
     repro-hlts table1 --workers 4 --cache-dir .repro-cache
     repro-hlts bench-tables           # write BENCH_tables.json
@@ -378,6 +381,74 @@ def _analyze_command(args) -> int:
     return 0 if all_ok else 1
 
 
+def _timing_command(args) -> int:
+    """The ``timing`` subcommand: static timing analysis of the gates."""
+    from .analysis.timing import ConeCache, analyze_timing
+    from .errors import ReproError
+    from .etpn.from_dfg import default_design
+    from .gates import expand_to_gates
+    from .rtl import generate_rtl
+
+    targets = args.targets or list(names())
+    # One cache across targets: benchmarks share expander idioms, so
+    # isomorphic cones (interned to the same structural ids) are
+    # evaluated once for the whole run.
+    cache = ConeCache()
+    results = []
+    all_ok = True
+    for target in targets:
+        try:
+            dfg = _lint_resolve(target, bits=args.bits)
+        except KeyError:
+            print(f"error: {target!r} is neither a registered benchmark "
+                  f"({', '.join(names())}) nor an HDL file", file=sys.stderr)
+            return 2
+        except ReproError as exc:
+            print(f"error: {target}: cannot compile: {exc}", file=sys.stderr)
+            return 2
+        print(f"timing {target}/{args.flow}/{args.bits}-bit ...",
+              file=sys.stderr)
+        if args.flow == "default":
+            design = default_design(dfg)
+        else:
+            design = run_ours(dfg,
+                              cost_model=CostModel(bits=args.bits)).design
+        netlist = expand_to_gates(generate_rtl(design, args.bits))
+        report = analyze_timing(
+            netlist, bits=args.bits, period=args.period, cache=cache,
+            k_paths=args.paths,
+            sequential_constants=args.sequential_constants)
+        ok = report.ok and (not args.strict or not report.unconstrained())
+        all_ok = all_ok and ok
+        results.append((target, report, ok))
+
+    if args.fmt == "json":
+        import json
+        print(json.dumps({
+            "targets": [{"target": t, "cmd_ok": ok, **report.to_dict()}
+                        for t, report, ok in results],
+            "flow": args.flow,
+            "strict": args.strict,
+            "ok": all_ok,
+        }, indent=2))
+    else:
+        for target, report, ok in results:
+            status = "ok" if ok else "FAIL"
+            print(f"== {report.summary()} [{status}]")
+            for e in report.violations():
+                print(f"   VIOLATED {e.kind} {e.name}: slack {e.slack:+.2f} "
+                      f"(arrival {e.arrival:.2f}, {e.levels} levels)")
+            for e in report.unconstrained():
+                print(f"   unconstrained {e.kind} {e.name}: "
+                      f"cone proved constant")
+            for e in report.skipped():
+                print(f"   skipped {e.kind} {e.name}: {e.skip_reason}")
+            if args.verbose:
+                for path in report.paths:
+                    print(f"   {path.format()}")
+    return 0 if all_ok else 1
+
+
 def _dataflow_assumptions(dfg, bits: int, input_bits: int | None):
     """Entry intervals when ``--input-bits`` restricts the inputs."""
     if input_bits is None:
@@ -616,6 +687,46 @@ def main(argv: list[str] | None = None) -> int:
                    help="also print the per-variable abstract values")
 
     p = sub.add_parser(
+        "timing",
+        help="static timing analysis: arrivals, slack, K worst paths "
+             "over the expanded gate netlist")
+    p.add_argument("targets", nargs="*", metavar="TARGET",
+                   help="benchmark names or HDL source files "
+                        "(default: every registered benchmark)")
+    p.add_argument("--flow", choices=["ours", "default"], default="ours",
+                   help="time the synthesised design (ours) or the "
+                        "unmerged default allocation (default: ours)")
+    p.add_argument("--bits", type=int, default=8,
+                   help="data-path width of the expansion (default: 8)")
+    p.add_argument("--period", type=float, default=None,
+                   help="clock period in gate units (default: the "
+                        "library-implied period at --bits)")
+    p.add_argument("--paths", type=int, default=4, metavar="K",
+                   help="worst paths to extract gate by gate (default: 4)")
+    p.add_argument("--sequential-constants", action="store_true",
+                   help="seed DFF launches with reset-reachable "
+                        "constants for stronger false-path pruning")
+    p.add_argument("--strict", action="store_true",
+                   help="treat unconstrained endpoints as failures "
+                        "for the exit status")
+    p.add_argument("--format", choices=["text", "json"], default="text",
+                   dest="fmt", help="output format (default: text)")
+    p.add_argument("-v", "--verbose", action="store_true",
+                   help="also print the K worst paths gate by gate")
+
+    p = sub.add_parser(
+        "bench-timing",
+        help="time cold vs incremental re-analysis after one merger "
+             "and write BENCH_timing.json")
+    p.add_argument("--bits", type=int, default=8,
+                   help="data-path width of the expansions (default: 8)")
+    p.add_argument("--repeats", type=int, default=5,
+                   help="timing repeats; the minimum is recorded "
+                        "(default: 5)")
+    p.add_argument("--output", default="BENCH_timing.json",
+                   help="output path (default: BENCH_timing.json)")
+
+    p = sub.add_parser(
         "bench-dataflow",
         help="time the dataflow fixpoint, fault pruning and width "
              "narrowing and write BENCH_dataflow.json")
@@ -747,6 +858,19 @@ def _dispatch(args, parser: argparse.ArgumentParser) -> int:
         return _analyze_command(args)
     if args.command == "dataflow":
         return _dataflow_command(args)
+    if args.command == "timing":
+        return _timing_command(args)
+    if args.command == "bench-timing":
+        from .harness.bench_timing import run_bench_timing
+        report = run_bench_timing(
+            bits=args.bits, repeats=args.repeats, output=args.output,
+            progress=lambda msg: print(msg, file=sys.stderr))
+        print(f"wrote {args.output}: {report['cells_total']} cells, "
+              f"incremental speedup {report['speedup_total']}x "
+              f"(target {report['target_speedup']}x, "
+              f"met: {report['meets_target']}), "
+              f"reports identical: {report['reports_match']}")
+        return 0 if report["reports_match"] else 1
     if args.command == "bench-dataflow":
         from .harness.bench_dataflow import run_bench_dataflow
         report = run_bench_dataflow(

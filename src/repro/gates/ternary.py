@@ -1,0 +1,57 @@
+"""Shared ternary (0/1/X) gate evaluation.
+
+One three-valued evaluator serves two engines: the ATPG fault pruner's
+sequential constant propagation (:mod:`repro.atpg.prune`) and the
+static timing analyser's false-path pruning
+(:mod:`repro.analysis.timing.engine`).  Both need the identical
+controlling-value semantics — a 0 on any AND input or a 1 on any OR
+input decides the output regardless of the X inputs — so the timing
+engine's "provably constant, carries no transition" judgement agrees
+gate-for-gate with the pruner's "provably untestable" one.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .netlist import GateType
+
+#: Ternary line value: 0, 1 or None (X = unknown).
+Ternary = Optional[int]
+
+
+def eval_gate(gtype: GateType, values: list[Ternary]) -> Ternary:
+    """Ternary evaluation of one combinational gate."""
+    if gtype is GateType.BUF:
+        return values[0]
+    if gtype is GateType.NOT:
+        v = values[0]
+        return None if v is None else 1 - v
+    if gtype in (GateType.AND, GateType.NAND):
+        if any(v == 0 for v in values):
+            out: Ternary = 0
+        elif all(v == 1 for v in values):
+            out = 1
+        else:
+            out = None
+        if gtype is GateType.NAND and out is not None:
+            out = 1 - out
+        return out
+    if gtype in (GateType.OR, GateType.NOR):
+        if any(v == 1 for v in values):
+            out = 1
+        elif all(v == 0 for v in values):
+            out = 0
+        else:
+            out = None
+        if gtype is GateType.NOR and out is not None:
+            out = 1 - out
+        return out
+    if gtype in (GateType.XOR, GateType.XNOR):
+        if any(v is None for v in values):
+            return None
+        acc = 0
+        for v in values:
+            acc ^= v  # type: ignore[operator]
+        return acc if gtype is GateType.XOR else 1 - acc
+    raise ValueError(f"not a combinational gate: {gtype}")  # pragma: no cover

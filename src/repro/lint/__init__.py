@@ -16,6 +16,7 @@ Layers and code prefixes::
     STR  structural invariants    RAC  concurrency races
     EQV  value-flow equivalence   LNT  pipeline-stage failure
     DFA  abstract-interpretation value facts
+    TIM  static timing analysis
 
 See ``repro-hlts lint --list-rules`` or DESIGN.md for the full table.
 """
@@ -26,7 +27,7 @@ from .registry import (LAYERS, LintContext, Rule, all_rules, get_rule, rule,
 from .runner import (PIPELINE_FAILURE_CODE, lint_analysis, lint_binding,
                      lint_dataflow, lint_datapath, lint_design, lint_dfg,
                      lint_netlist, lint_petri, lint_pipeline, lint_schedule,
-                     lint_structural, run_analysis_layer)
+                     lint_structural, lint_timing, run_analysis_layer)
 
 __all__ = [
     "Diagnostic", "LintReport", "Severity",
@@ -35,5 +36,5 @@ __all__ = [
     "PIPELINE_FAILURE_CODE", "lint_analysis", "lint_binding",
     "lint_dataflow", "lint_datapath", "lint_design", "lint_dfg",
     "lint_netlist", "lint_petri", "lint_pipeline", "lint_schedule",
-    "lint_structural", "run_analysis_layer",
+    "lint_structural", "lint_timing", "run_analysis_layer",
 ]

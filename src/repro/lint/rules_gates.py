@@ -11,9 +11,12 @@ implementation.
 
 from __future__ import annotations
 
-from ..gates.netlist import GateType, SOURCE_TYPES, UNARY_TYPES
+from ..gates.netlist import (GateType, SOURCE_TYPES, UNARY_TYPES,
+                             combinational_cycle)
 from .diagnostic import Severity
 from .registry import Emit, LintContext, rule
+
+__all__ = ["combinational_cycle", "floating_dffs"]
 
 
 def floating_dffs(netlist) -> list:
@@ -36,42 +39,6 @@ def _fanout_counts(netlist) -> list[int]:
         if 0 <= gid < n:
             counts[gid] += 1
     return counts
-
-
-def combinational_cycle(netlist) -> list[int]:
-    """One combinational cycle as a gate-id list, or [] when none exists.
-
-    Edges run from fanin to gate; DFFs break timing loops, so edges into
-    a DFF's D input are excluded.
-    """
-    n = len(netlist.gates)
-    white, grey, black = 0, 1, 2
-    colour = [white] * n
-    for root in range(n):
-        if colour[root] != white:
-            continue
-        stack: list[tuple[int, int]] = [(root, 0)]
-        colour[root] = grey
-        path = [root]
-        while stack:
-            gid, idx = stack[-1]
-            gate = netlist.gates[gid]
-            fanins = (() if gate.gtype is GateType.DFF else
-                      tuple(f for f in gate.fanins if 0 <= f < n))
-            if idx < len(fanins):
-                stack[-1] = (gid, idx + 1)
-                child = fanins[idx]
-                if colour[child] == grey:
-                    return path[path.index(child):] + [child]
-                if colour[child] == white:
-                    colour[child] = grey
-                    stack.append((child, 0))
-                    path.append(child)
-            else:
-                colour[gid] = black
-                stack.pop()
-                path.pop()
-    return []
 
 
 @rule("GAT001", layer="gates", severity=Severity.ERROR,

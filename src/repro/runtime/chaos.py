@@ -25,6 +25,10 @@ Seams (see DESIGN.md §11):
 ``harness.worker``        top of one grid cell's evaluation inside a
                           parallel-harness worker (payload: the cell's
                           (benchmark, flow, bits) key)
+``timing.cone_eval``      inside the static timing analyser's
+                          per-endpoint barrier, just before one
+                          endpoint's cone is resolved (payload: the
+                          (endpoint name, driver gid) pair)
 ====================== ==================================================
 """
 
@@ -43,6 +47,7 @@ SEAMS = frozenset({
     "atpg.podem_step",
     "journal.pre_write",
     "harness.worker",
+    "timing.cone_eval",
 })
 
 #: Injection actions.

@@ -8,7 +8,7 @@ import random
 from repro.atpg import (ATPGConfig, FaultSimulator, constant_lines,
                         full_fault_list, prune_untestable, run_atpg)
 from repro.atpg.faults import Fault
-from repro.atpg.prune import _eval_gate
+from repro.gates.ternary import eval_gate as _eval_gate
 from repro.bench import load
 from repro.etpn.from_dfg import default_design
 from repro.gates import expand_to_gates

@@ -1,0 +1,75 @@
+"""Tests for ``repro-hlts timing`` / ``bench-timing`` and the bench
+harness behind them."""
+
+from __future__ import annotations
+
+import json
+
+from repro.cli import main
+from repro.harness.bench_timing import (SCHEMA, TARGET_SPEEDUP,
+                                        scrub_cache_stats, time_cell)
+
+
+class TestTimingCli:
+    def test_default_flow_passes(self, capsys):
+        assert main(["timing", "ex", "--flow", "default", "--bits", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "== ex" in out and "[ok]" in out
+
+    def test_ours_flow_passes(self, capsys):
+        assert main(["timing", "ex", "--flow", "ours", "--bits", "4"]) == 0
+        assert "[ok]" in capsys.readouterr().out
+
+    def test_tight_period_fails(self, capsys):
+        assert main(["timing", "ex", "--flow", "default", "--bits", "4",
+                     "--period", "10"]) == 1
+        out = capsys.readouterr().out
+        assert "[FAIL]" in out and "VIOLATED" in out
+
+    def test_verbose_prints_paths(self, capsys):
+        assert main(["timing", "ex", "--flow", "default", "--bits", "4",
+                     "-v"]) == 0
+        assert "arrival" in capsys.readouterr().out
+
+    def test_json_format(self, capsys):
+        assert main(["timing", "ex", "--flow", "default", "--bits", "4",
+                     "--format", "json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["ok"] is True and data["flow"] == "default"
+        target = data["targets"][0]
+        assert target["target"] == "ex" and target["cmd_ok"] is True
+        assert target["endpoints"]
+        assert all(e["slack"] is None or e["slack"] >= 0
+                   for e in target["endpoints"])
+
+    def test_unknown_target_exits_2(self, capsys):
+        assert main(["timing", "no-such-benchmark"]) == 2
+
+
+class TestBenchHarness:
+    def test_time_cell_warm_beats_cold(self):
+        # repeats=1 keeps this a smoke test; the committed
+        # BENCH_timing.json is generated with the full protocol.
+        cell = time_cell("ex", 4, repeats=1)
+        assert cell["benchmark"] == "ex" and cell["ok"]
+        assert cell["reports_match"]
+        assert cell["cold_seconds"] > 0 and cell["warm_seconds"] > 0
+        # the merger perturbs a few cones, so warm hits most — not
+        # necessarily all — of the post-merger netlist's cones
+        assert 0 < cell["cone_hits_warm"] <= cell["cones_total"]
+        assert cell["cone_hits_warm"] >= cell["cones_total"] // 2
+
+    def test_scrub_cache_stats_makes_runs_comparable(self):
+        cold = {"cone_hits": 0, "cone_misses": 7, "pruned_total": 3,
+                "wns": 1.5,
+                "endpoints": [{"name": "o", "cached": False,
+                               "cone_size": 9, "pruned": 1, "slack": 2.0}]}
+        warm = {"cone_hits": 7, "cone_misses": 0, "pruned_total": 0,
+                "wns": 1.5,
+                "endpoints": [{"name": "o", "cached": True,
+                               "cone_size": 0, "pruned": 0, "slack": 2.0}]}
+        assert scrub_cache_stats(cold) == scrub_cache_stats(warm)
+
+    def test_schema_and_target_constants(self):
+        assert SCHEMA.startswith("repro.bench_timing/")
+        assert TARGET_SPEEDUP >= 5.0
