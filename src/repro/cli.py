@@ -21,6 +21,12 @@ Examples::
     repro-hlts bench-analysis         # time structural vs enumerative
     repro-hlts table1 --workers 4 --cache-dir .repro-cache
     repro-hlts bench-tables           # write BENCH_tables.json
+    repro-hlts serve submit ex --bits 8
+    repro-hlts serve run              # drain the queue, then exit
+    repro-hlts serve status           # the WAL-replayed job table
+    repro-hlts serve result <job-id-prefix>
+    repro-hlts serve --stats          # WAL-derived service metrics
+    repro-hlts bench-service          # write BENCH_service.json
 """
 
 from __future__ import annotations
@@ -130,6 +136,139 @@ def _chaos_command(args) -> int:
     survived = sum(outcome.ok for outcome in outcomes)
     print(f"chaos: {survived}/{len(outcomes)} scenarios survived")
     return 0 if survived == len(outcomes) else 1
+
+
+def _serve_request(args):
+    """Build the :class:`~repro.service.JobRequest` of ``serve submit``."""
+    from .service import JobRequest
+    return JobRequest(
+        benchmark=args.benchmark, flow=args.flow, bits=args.bits,
+        deadline_seconds=args.deadline_seconds, max_steps=args.max_steps,
+        fault_fraction=args.fault_fraction,
+        max_sequences=args.max_sequences, saturation=args.saturation,
+        sequence_length=args.sequence_length,
+        max_backtracks=args.max_backtracks)
+
+
+def _serve_run(args, spool) -> int:
+    """``serve run``: supervise the spool until drained or signalled."""
+    import signal
+    from pathlib import Path
+
+    from .service import RetryPolicy, Supervisor
+
+    cache = None
+    if not args.no_cache:
+        from .harness.cache import ResultCache
+        cache_dir = (Path(args.cache_dir) if args.cache_dir
+                     else spool.root / "cache")
+        cache = ResultCache(cache_dir=cache_dir)
+    supervisor = Supervisor(
+        spool, workers=args.workers, isolate=args.isolate,
+        retry=RetryPolicy(max_attempts=args.max_attempts,
+                          backoff_base=args.backoff_base,
+                          backoff_cap=args.backoff_cap),
+        default_deadline=args.default_deadline, cache=cache,
+        progress=lambda msg: print(msg, file=sys.stderr))
+
+    def _drain(signum: int, _frame) -> None:
+        supervisor.request_stop(signal.Signals(signum).name)
+
+    previous = {}
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        try:
+            previous[signum] = signal.signal(signum, _drain)
+        except ValueError:  # not the main thread (in-process tests)
+            pass
+    try:
+        outcome = supervisor.run(
+            max_jobs=args.max_jobs,
+            idle_seconds=None if args.daemon else args.idle_seconds)
+    finally:
+        for signum, handler in previous.items():
+            signal.signal(signum, handler)
+    stopped = (f", stopped by {outcome.stopped_reason} (drained "
+               f"gracefully)" if outcome.stopped else "")
+    print(f"serve: {outcome.done} done ({outcome.recovered} recovered), "
+          f"{outcome.retried} retried, {outcome.quarantined} quarantined, "
+          f"{outcome.reaped} reaped in {outcome.elapsed_seconds:.1f}s"
+          f"{stopped}")
+    return 0 if outcome.ok() else 1
+
+
+def _serve_command(args) -> int:
+    """The ``serve`` subcommand tree: a durable synthesis job service."""
+    import json as _json
+
+    from .service import Spool, render_stats, service_stats
+
+    spool = Spool(args.spool)
+    command = getattr(args, "serve_command", None)
+    if command is None or command == "stats":
+        if args.stats or command == "stats":
+            print(render_stats(service_stats(spool)))
+            return 0
+        print("error: serve needs a subcommand or --stats "
+              "(try: serve submit ex)", file=sys.stderr)
+        return 2
+    if command == "submit":
+        jid, queued = spool.submit(_serve_request(args))
+        print(f"{jid} {'queued' if queued else 'already spooled'}")
+        return 0
+    if command == "run":
+        return _serve_run(args, spool)
+    if command == "status":
+        states = spool.states()
+        if args.job:
+            try:
+                jid = spool.resolve(args.job)
+            except KeyError as exc:
+                print(f"error: {exc.args[0]}", file=sys.stderr)
+                return 1
+            state = states.get(jid)
+            if state is None:
+                print(f"{jid} spooled (not yet ledgered)")
+            else:
+                print(_json.dumps(state.to_dict(), indent=2,
+                                  sort_keys=True))
+            return 0
+        for jid, state in states.items():
+            line = (f"{jid[:12]}  {state.state:<11}  "
+                    f"attempts={state.attempts} failures={state.failures}")
+            if state.reason:
+                line += f"  {state.reason}"
+            print(line)
+        return 0
+    if command == "result":
+        try:
+            jid = spool.resolve(args.job)
+        except KeyError as exc:
+            print(f"error: {exc.args[0]}", file=sys.stderr)
+            return 1
+        record = spool.read_result(jid)
+        if record is None:
+            state = spool.states().get(jid)
+            print(f"error: no result for {jid[:12]} "
+                  f"(state: {state.state if state else 'unledgered'})",
+                  file=sys.stderr)
+            return 1
+        print(_json.dumps(record, sort_keys=True, indent=2))
+        return 0
+    if command == "cancel":
+        try:
+            jid = spool.resolve(args.job)
+        except KeyError as exc:
+            print(f"error: {exc.args[0]}", file=sys.stderr)
+            return 1
+        if spool.cancel(jid, reason=args.reason):
+            print(f"{jid} cancelled")
+            return 0
+        state = spool.states().get(jid)
+        print(f"error: cannot cancel {jid[:12]} "
+              f"(state: {state.state if state else 'unledgered'})",
+              file=sys.stderr)
+        return 1
+    return 2
 
 
 def _figure_command(args, benchmarks: list[str]) -> int:
@@ -605,6 +744,116 @@ def main(argv: list[str] | None = None) -> int:
                    help="print the scenario table and exit")
 
     p = sub.add_parser(
+        "serve",
+        help="durable synthesis job service: filesystem spool + WAL "
+             "ledger + supervised queue")
+    p.add_argument("--spool", metavar="DIR", default=".repro-spool",
+                   help="service spool directory — the whole transport "
+                        "(default: .repro-spool)")
+    p.add_argument("--stats", action="store_true",
+                   help="print WAL-derived service metrics and exit")
+    serve_sub = p.add_subparsers(dest="serve_command")
+
+    def _add_spool(sub_parser: argparse.ArgumentParser) -> None:
+        # SUPPRESS: only override the parent parser's --spool (parsed
+        # before the sub-subcommand) when actually given here.
+        sub_parser.add_argument("--spool", metavar="DIR",
+                                default=argparse.SUPPRESS,
+                                help="service spool directory "
+                                     "(default: .repro-spool)")
+
+    q = serve_sub.add_parser(
+        "submit", help="spool one synthesis job (idempotent: identical "
+                       "content gets the same job id)")
+    q.add_argument("benchmark",
+                   help="benchmark name; an unknown name is accepted and "
+                        "quarantined after retries — poison input must "
+                        "not crash the queue")
+    q.add_argument("--flow", choices=FLOW_ORDER, default="ours")
+    q.add_argument("--bits", type=int, default=8)
+    q.add_argument("--deadline-seconds", type=float, default=None,
+                   help="per-job wall-clock budget; also the reap "
+                        "horizon in process mode")
+    q.add_argument("--max-steps", type=int, default=None,
+                   help="per-job abstract step ceiling")
+    q.add_argument("--fault-fraction", type=float, default=None,
+                   help="override the quick config's ATPG fault sample")
+    q.add_argument("--max-sequences", type=int, default=None)
+    q.add_argument("--saturation", type=int, default=None)
+    q.add_argument("--sequence-length", type=int, default=None)
+    q.add_argument("--max-backtracks", type=int, default=None)
+    _add_spool(q)
+
+    q = serve_sub.add_parser(
+        "run", help="supervise the queue: dispatch, retry, quarantine; "
+                    "SIGTERM drains gracefully (exit 0)")
+    q.add_argument("--workers", type=int, default=1, metavar="N",
+                   help="worker processes (default: 1 = evaluate inline)")
+    q.add_argument("--isolate", action="store_true",
+                   help="one process per job even with --workers 1 "
+                        "(enables hung-worker reaping)")
+    q.add_argument("--max-attempts", type=int, default=3,
+                   help="consecutive failures before quarantine "
+                        "(default: 3)")
+    q.add_argument("--backoff-base", type=float, default=0.5,
+                   help="first retry delay, doubled per failure "
+                        "(default: 0.5s)")
+    q.add_argument("--backoff-cap", type=float, default=30.0,
+                   help="retry delay ceiling (default: 30s)")
+    q.add_argument("--default-deadline", type=float, default=None,
+                   help="reap horizon for jobs without their own "
+                        "--deadline-seconds (process mode)")
+    q.add_argument("--max-jobs", type=int, default=None,
+                   help="stop after this many dispatch attempts")
+    q.add_argument("--idle-seconds", type=float, default=0.0,
+                   help="after draining, keep polling for new "
+                        "submissions this long (default: exit on drain)")
+    q.add_argument("--daemon", action="store_true",
+                   help="serve until a signal arrives, never exit on "
+                        "drain")
+    q.add_argument("--cache-dir", metavar="PATH", default=None,
+                   help="result cache directory "
+                        "(default: <spool>/cache)")
+    q.add_argument("--no-cache", action="store_true",
+                   help="evaluate every job from scratch")
+    _add_spool(q)
+
+    q = serve_sub.add_parser("status",
+                             help="job table, or one job's full state")
+    q.add_argument("job", nargs="?", metavar="JOB",
+                   help="job id (unique prefix ok); omit for the table")
+    _add_spool(q)
+
+    q = serve_sub.add_parser("result",
+                             help="print one finished job's cell record")
+    q.add_argument("job", metavar="JOB", help="job id (unique prefix ok)")
+    _add_spool(q)
+
+    q = serve_sub.add_parser("cancel",
+                             help="cancel a queued or retry-pending job")
+    q.add_argument("job", metavar="JOB", help="job id (unique prefix ok)")
+    q.add_argument("--reason", default="cancelled by user")
+    _add_spool(q)
+
+    q = serve_sub.add_parser("stats",
+                             help="print WAL-derived service metrics")
+    _add_spool(q)
+
+    p = sub.add_parser(
+        "bench-service",
+        help="benchmark the service: cold vs warm drain plus an "
+             "injected-fault round; write BENCH_service.json")
+    p.add_argument("--benchmarks", nargs="+", choices=names(),
+                   default=["ex", "paulin", "tseng"],
+                   help="one job per benchmark (default: ex paulin tseng)")
+    p.add_argument("--bits", type=int, default=4,
+                   help="data-path width of every job (default: 4)")
+    p.add_argument("--output", default="BENCH_service.json",
+                   help="output path (default: BENCH_service.json)")
+    p.add_argument("--workdir", default=None,
+                   help="keep spools/cache here instead of a temp dir")
+
+    p = sub.add_parser(
         "lint",
         help="design-rule check (DFG -> ETPN -> schedule -> binding -> gates)")
     p.add_argument("targets", nargs="*", metavar="TARGET",
@@ -852,6 +1101,21 @@ def _dispatch(args, parser: argparse.ArgumentParser) -> int:
         return _bench_command(args)
     if args.command == "chaos":
         return _chaos_command(args)
+    if args.command == "serve":
+        return _serve_command(args)
+    if args.command == "bench-service":
+        from .harness.bench_service import run_bench_service
+        report = run_bench_service(
+            benchmarks=args.benchmarks, bits=args.bits,
+            output=args.output, workdir=args.workdir,
+            progress=lambda msg: print(msg, file=sys.stderr))
+        print(f"wrote {args.output}: {report['jobs']} jobs, "
+              f"warm speedup {report['warm_speedup']}x, "
+              f"fault round: {report['fault_round']['retries']} retries, "
+              f"{report['fault_round']['quarantined']} quarantined, "
+              f"results identical: {report['results_identical']}")
+        return 0 if (report["results_identical"]
+                     and report["fault_round"]["all_real_jobs_done"]) else 1
     if args.command == "lint":
         return _lint_command(args)
     if args.command == "analyze":

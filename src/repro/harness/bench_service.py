@@ -1,0 +1,170 @@
+"""Benchmark the synthesis service: drain throughput and fault cost.
+
+``repro-hlts bench-service`` measures three supervised drains of the
+same job set and writes ``BENCH_service.json``:
+
+* **cold** — fresh spool, fresh result cache: every job evaluates.
+* **warm** — fresh spool, the cold run's cache: every job should be a
+  content-hash cache hit, so this round measures pure service overhead
+  (WAL appends, spool I/O, supervision) and the cold/warm ratio is the
+  cache's honest speedup.
+* **faults** — fresh spool, warm cache, plus one poison job (unknown
+  benchmark) and an injected transient failure at ``service.dispatch``:
+  measures what retry/backoff and the quarantine circuit breaker cost
+  while the real jobs still drain.
+
+Protocol notes for this repo's 1-CPU container: every round runs the
+inline single-worker supervisor (process isolation would only add fork
+overhead with nothing to parallelise), rounds run back to back in one
+process so the warm round also benefits from a warm interpreter, and
+the cold round is first so it can never borrow the warm cache.  The
+cold and warm rounds must produce byte-identical scrubbed results —
+the benchmark fails (exit 1) if they do not.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import time
+from pathlib import Path
+from typing import Any, Callable, Optional
+
+from ..runtime.atomic import atomic_write_text
+from ..runtime.checkpoint import scrubbed_records
+
+#: Report format tag.
+BENCH_FORMAT = "repro-bench-service-v1"
+
+#: Quick per-job knobs: small fault sample and random-phase budgets so
+#: one job is ~a second on the container, matching the chaos scenarios.
+QUICK_JOB_KNOBS = {"fault_fraction": 0.3, "max_sequences": 4,
+                   "saturation": 2, "sequence_length": 6,
+                   "max_backtracks": 50}
+
+
+def _submit_jobs(spool: Any, benchmarks: list[str],
+                 bits: int) -> list[str]:
+    from ..service import JobRequest
+    job_ids = []
+    for benchmark in benchmarks:
+        jid, _ = spool.submit(JobRequest(benchmark=benchmark, flow="ours",
+                                         bits=bits, **QUICK_JOB_KNOBS))
+        job_ids.append(jid)
+    return job_ids
+
+
+def _drain(spool: Any, cache_dir: Path, *,
+           max_attempts: int = 3) -> tuple[Any, float]:
+    from ..harness.cache import ResultCache
+    from ..service import RetryPolicy, Supervisor
+    supervisor = Supervisor(
+        spool, retry=RetryPolicy(max_attempts=max_attempts,
+                                 backoff_base=0.0),
+        cache=ResultCache(cache_dir=cache_dir))
+    started = time.perf_counter()
+    outcome = supervisor.run()
+    return outcome, time.perf_counter() - started
+
+
+def _round_report(spool: Any, job_ids: list[str], outcome: Any,
+                  elapsed: float) -> dict[str, Any]:
+    from ..service import service_stats
+    stats = service_stats(spool)
+    return {
+        "elapsed_seconds": round(elapsed, 4),
+        "jobs_done": outcome.done,
+        "retries": outcome.retried,
+        "quarantined": outcome.quarantined,
+        "throughput_done_per_second": (round(outcome.done / elapsed, 4)
+                                       if elapsed > 0 else None),
+        "attempts": stats["attempts"],
+        "all_real_jobs_done": all(
+            spool.states()[jid].state == "done" for jid in job_ids),
+    }
+
+
+def _scrubbed_results(spool: Any, job_ids: list[str]) -> str:
+    records = [spool.read_result(jid) for jid in job_ids]
+    return scrubbed_records([r for r in records if r is not None])
+
+
+def run_bench_service(*, benchmarks: Optional[list[str]] = None,
+                      bits: int = 4,
+                      output: str = "BENCH_service.json",
+                      workdir: Optional[str] = None,
+                      progress: Optional[Callable[[str], None]] = None
+                      ) -> dict[str, Any]:
+    """Run the three service rounds and write the report.
+
+    Returns the report dict (also written to ``output`` atomically).
+    """
+    from ..runtime.chaos import ChaosInjector, Injection
+    from ..service import JobRequest, Spool
+
+    benchmarks = list(benchmarks or ["ex", "paulin", "tseng"])
+    root = Path(workdir) if workdir else Path(tempfile.mkdtemp(
+        prefix="repro-bench-service-"))
+    root.mkdir(parents=True, exist_ok=True)
+    cache_dir = root / "cache"
+
+    def say(message: str) -> None:
+        if progress:
+            progress(message)
+
+    # --- cold: fresh spool, fresh cache -------------------------------
+    say(f"cold drain: {len(benchmarks)} jobs, empty cache ...")
+    cold_spool = Spool(root / "spool-cold")
+    cold_jobs = _submit_jobs(cold_spool, benchmarks, bits)
+    cold_outcome, cold_elapsed = _drain(cold_spool, cache_dir)
+    cold = _round_report(cold_spool, cold_jobs, cold_outcome, cold_elapsed)
+
+    # --- warm: fresh spool, the cold run's cache ----------------------
+    say("warm drain: same jobs, warm content-hash cache ...")
+    warm_spool = Spool(root / "spool-warm")
+    warm_jobs = _submit_jobs(warm_spool, benchmarks, bits)
+    warm_outcome, warm_elapsed = _drain(warm_spool, cache_dir)
+    warm = _round_report(warm_spool, warm_jobs, warm_outcome, warm_elapsed)
+
+    results_identical = (_scrubbed_results(cold_spool, cold_jobs)
+                         == _scrubbed_results(warm_spool, warm_jobs))
+
+    # --- faults: transient dispatch failure + one poison job ----------
+    say("fault drain: injected transient failure + poison job ...")
+    fault_spool = Spool(root / "spool-faults")
+    fault_jobs = _submit_jobs(fault_spool, benchmarks, bits)
+    fault_spool.submit(JobRequest(benchmark="bench-service-poison",
+                                  bits=bits))
+    with ChaosInjector(Injection(seam="service.dispatch",
+                                 action="raise", at_visit=1)):
+        fault_outcome, fault_elapsed = _drain(fault_spool, cache_dir,
+                                              max_attempts=2)
+    fault = _round_report(fault_spool, fault_jobs, fault_outcome,
+                          fault_elapsed)
+
+    warm_speedup = (round(cold_elapsed / warm_elapsed, 2)
+                    if warm_elapsed > 0 else None)
+    report: dict[str, Any] = {
+        "format": BENCH_FORMAT,
+        "benchmarks": benchmarks,
+        "bits": bits,
+        "jobs": len(benchmarks),
+        "cpu_count": os.cpu_count(),
+        "workers": 1,
+        "protocol": (
+            "three inline single-worker drains in one process on a "
+            "single-CPU container; cold runs first (fresh cache), warm "
+            "reuses the cold cache, the fault round injects one "
+            "transient service.dispatch failure and one poison job "
+            "(unknown benchmark) with max_attempts=2; cold-vs-warm "
+            "scrubbed results must be byte-identical"),
+        "cold": cold,
+        "warm": warm,
+        "fault_round": fault,
+        "warm_speedup": warm_speedup,
+        "results_identical": results_identical,
+    }
+    atomic_write_text(Path(output), json.dumps(report, indent=2,
+                                               sort_keys=True) + "\n")
+    return report

@@ -169,13 +169,22 @@ class CacheStats:
 # ----------------------------------------------------------------------
 # The cache
 # ----------------------------------------------------------------------
+#: Default in-memory tier cap (entries).  A synthesis payload for a
+#: large benchmark is tens of kilobytes, so an unbounded dict in a
+#: long-lived service daemon is a slow leak; 1024 entries covers every
+#: grid the harness runs while bounding the tier to a few dozen MB.
+DEFAULT_MEMORY_CAP = 1024
+
+
 @dataclass
 class ResultCache:
     """Two-tier content-addressed result cache.
 
-    The in-memory tier is a plain dict private to this process; the
-    optional disk tier (``cache_dir``) is shared between processes and
-    across runs.  Disk entries are one JSON file per key under a
+    The in-memory tier is an LRU-capped dict private to this process
+    (``memory_cap`` entries; 0 or negative = unbounded); the optional
+    disk tier (``cache_dir``) is shared between processes and across
+    runs and is never evicted — an entry pushed out of memory is still
+    a disk hit.  Disk entries are one JSON file per key under a
     two-character fan-out directory, written atomically; unreadable or
     mismatched entries are treated as misses, never as errors — a
     corrupt cache can only cost time, not correctness.
@@ -183,6 +192,8 @@ class ResultCache:
 
     cache_dir: Optional[Path] = None
     stats: CacheStats = field(default_factory=CacheStats)
+    memory_cap: int = DEFAULT_MEMORY_CAP
+    evictions: int = 0
     _memory: dict[str, dict] = field(default_factory=dict, repr=False)
 
     def __post_init__(self) -> None:
@@ -194,10 +205,23 @@ class ResultCache:
         assert self.cache_dir is not None
         return self.cache_dir / key[:2] / f"{key}.json"
 
+    def _remember(self, key: str, payload: dict) -> None:
+        """Insert into the memory tier as most-recently-used, evicting
+        the least-recently-used entries past ``memory_cap`` (dicts are
+        insertion-ordered, so re-inserting on every touch makes the
+        iteration head the LRU end)."""
+        self._memory.pop(key, None)
+        self._memory[key] = payload
+        if self.memory_cap > 0:
+            while len(self._memory) > self.memory_cap:
+                self._memory.pop(next(iter(self._memory)))
+                self.evictions += 1
+
     def get(self, key: str) -> Optional[dict]:
         """The payload stored under ``key``, or None on a miss."""
         payload = self._memory.get(key)
         if payload is not None:
+            self._remember(key, payload)  # refresh recency
             self.stats.memory_hits += 1
             return payload
         if self.cache_dir is not None:
@@ -210,7 +234,7 @@ class ResultCache:
                     and entry.get("key") == key
                     and isinstance(entry.get("payload"), dict)):
                 payload = entry["payload"]
-                self._memory[key] = payload
+                self._remember(key, payload)
                 self.stats.disk_hits += 1
                 return payload
         self.stats.misses += 1
@@ -218,7 +242,7 @@ class ResultCache:
 
     def put(self, key: str, payload: dict) -> None:
         """Store ``payload`` in every configured tier."""
-        self._memory[key] = payload
+        self._remember(key, payload)
         self.stats.stores += 1
         if self.cache_dir is not None:
             path = self._disk_path(key)

@@ -82,6 +82,11 @@ class GridOutcome:
     computed: int = 0
     #: Aggregated cache counters across the parent and every worker.
     cache_stats: CacheStats = field(default_factory=CacheStats)
+    #: True when Ctrl-C cut the run short.  Completed cells were
+    #: already journaled (one fsynced append each), so a ``--resume``
+    #: picks up exactly where the interrupt landed; the unfinished
+    #: cells appear in ``skipped`` with reason ``"interrupted"``.
+    interrupted: bool = False
 
     def ok(self) -> bool:
         """True when no cell was lost."""
@@ -306,7 +311,7 @@ def _run_inline(pending: list[CellKey],
                 results: dict[CellKey, Any],
                 outcome: GridOutcome,
                 progress: Optional[Callable[[str], None]]) -> None:
-    for key in pending:
+    for index, key in enumerate(pending):
         benchmark, flow, bits = key
         if progress:
             progress(f"running {benchmark}/{flow}/{bits}-bit ...")
@@ -316,6 +321,15 @@ def _run_inline(pending: list[CellKey],
                                        worker_chaos.get(key, ()))
         except ChaosCrash:
             raise  # simulated death of *this* process must not be absorbed
+        except KeyboardInterrupt:
+            outcome.interrupted = True
+            for later in pending[index:]:
+                outcome.skipped.append(
+                    SkippedCell(*later, reason="interrupted"))
+            if progress:
+                progress("interrupted; returning partial grid "
+                         "(journaled cells are safe, --resume continues)")
+            return
         except Exception as exc:  # noqa: BLE001 - degradation barrier
             outcome.skipped.append(SkippedCell(
                 benchmark, flow, bits, f"{type(exc).__name__}: {exc}"))
@@ -354,22 +368,43 @@ def _run_pool(pending: list[CellKey],
                 cache_dir, cell_wall_seconds,
                 worker_chaos.get(key, ()))] = key
         not_done = set(futures)
-        while not_done:
-            finished, not_done = wait(not_done,
-                                      return_when=FIRST_COMPLETED)
-            for future in finished:
+        try:
+            while not_done:
+                finished, not_done = wait(not_done,
+                                          return_when=FIRST_COMPLETED)
+                for future in finished:
+                    key = futures[future]
+                    try:
+                        payload = future.result()
+                    except Exception as exc:  # noqa: BLE001 - worker died
+                        outcome.skipped.append(SkippedCell(
+                            *key, reason=f"{type(exc).__name__}: {exc}"))
+                        if progress:
+                            progress(f"worker lost {key[0]}/{key[1]}/"
+                                     f"{key[2]}-bit: {type(exc).__name__}: "
+                                     f"{exc}")
+                        continue
+                    _absorb(outcome, results, key, payload, journal,
+                            progress)
+        except KeyboardInterrupt:
+            # Ctrl-C: give back what completed.  Journal appends happen
+            # as futures finish, so every absorbed cell is already
+            # fsynced; pending futures are cancelled and charged as
+            # skipped.  (A real SIGINT also reaches the workers — same
+            # process group — so the context manager's final wait is
+            # brief.)
+            outcome.interrupted = True
+            for future in not_done:
+                future.cancel()
+            pool.shutdown(wait=False, cancel_futures=True)
+            for future in not_done:
                 key = futures[future]
-                try:
-                    payload = future.result()
-                except Exception as exc:  # noqa: BLE001 - worker died
-                    outcome.skipped.append(SkippedCell(
-                        *key, reason=f"{type(exc).__name__}: {exc}"))
-                    if progress:
-                        progress(f"worker lost {key[0]}/{key[1]}/"
-                                 f"{key[2]}-bit: {type(exc).__name__}: "
-                                 f"{exc}")
-                    continue
-                _absorb(outcome, results, key, payload, journal, progress)
+                if key not in results:
+                    outcome.skipped.append(
+                        SkippedCell(*key, reason="interrupted"))
+            if progress:
+                progress("interrupted; returning partial grid "
+                         "(journaled cells are safe, --resume continues)")
 
 
 # ----------------------------------------------------------------------

@@ -29,6 +29,20 @@ Seams (see DESIGN.md §11):
                           per-endpoint barrier, just before one
                           endpoint's cone is resolved (payload: the
                           (endpoint name, driver gid) pair)
+``service.dequeue``       the synthesis service supervisor, just after
+                          it picks the next job off the queue
+                          (payload: the job id)
+``service.dispatch``      just before a dequeued job's evaluation
+                          starts (payload: the job id) — a raise here
+                          is the canonical transient worker failure
+``service.ledger_write``  immediately before one WAL transition is
+                          committed to the service ledger (payload:
+                          the transition record)
+``service.worker_reap``   the supervisor's completion/reap check for a
+                          job — after its result is spooled but before
+                          ``done`` is ledgered inline; once per
+                          supervision poll per running worker in
+                          process mode (payload: the job id)
 ====================== ==================================================
 """
 
@@ -48,6 +62,10 @@ SEAMS = frozenset({
     "journal.pre_write",
     "harness.worker",
     "timing.cone_eval",
+    "service.dequeue",
+    "service.dispatch",
+    "service.ledger_write",
+    "service.worker_reap",
 })
 
 #: Injection actions.

@@ -105,7 +105,7 @@ class Journal:
     ``write``+``fsync`` of one JSONL line — O(1) per commit, so journal
     writes do not serialise a parallel grid whose parent journals every
     completed cell.  The fast path is guarded by a header check (the
-    file must start with a record carrying :data:`JOURNAL_FORMAT` and
+    file must start with a record carrying the journal's format tag and
     end on a newline); a missing, headerless or torn file falls back to
     the original atomic whole-file rewrite (write-temp, fsync, rename),
     which also serves first creation and :meth:`compact`.  A crash
@@ -113,10 +113,20 @@ class Journal:
     drops — exactly the loses-at-most-one-record contract the
     ``journal.pre_write`` chaos seam (sitting right before either
     write) proves.
+
+    ``fmt`` and ``seam`` parameterise the format tag the header check
+    demands and the chaos seam visited before every commit, so other
+    append-only ledgers (the service WAL in
+    :mod:`repro.service.ledger`) reuse the identical crash contract
+    under their own seam.
     """
 
-    def __init__(self, path: str | Path) -> None:
+    def __init__(self, path: str | Path, *,
+                 fmt: str = JOURNAL_FORMAT,
+                 seam: str = "journal.pre_write") -> None:
         self.path = Path(path)
+        self.fmt = fmt
+        self.seam = seam
 
     # ------------------------------------------------------------------
     def records(self) -> list[dict]:
@@ -161,7 +171,7 @@ class Journal:
                     return False
                 first = json.loads(head)
                 if not (isinstance(first, dict)
-                        and first.get("format") == JOURNAL_FORMAT):
+                        and first.get("format") == self.fmt):
                     return False
                 handle.seek(-1, os.SEEK_END)
                 return handle.read(1) == b"\n"
@@ -171,7 +181,7 @@ class Journal:
     def append(self, record: dict) -> None:
         """Commit one record (O(1) append, or full rewrite on repair)."""
         line = json.dumps(record, sort_keys=True)
-        chaos_point("journal.pre_write")
+        chaos_point(self.seam)
         self.path.parent.mkdir(parents=True, exist_ok=True)
         if self._appendable():
             with open(self.path, "a") as handle:

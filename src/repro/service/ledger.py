@@ -1,0 +1,214 @@
+"""Write-ahead job ledger: every state transition, fsynced, replayable.
+
+The service's single source of truth is an append-only JSONL WAL built
+on the checkpoint :class:`~repro.runtime.checkpoint.Journal` (same O(1)
+fsynced appends, same torn-tail-drop replay, same atomic-rewrite
+repair) under its own format tag and chaos seam
+(``service.ledger_write``).  Every job state change — ``submitted →
+running → done/failed/quarantined/cancelled`` — is one WAL line
+committed *before* the supervisor acts on it, so killing the daemon at
+any instant and restarting replays the WAL into the exact job table
+the dead process had, minus at most the newest transition (whose loss
+recovery repairs: a ``running`` job with a spooled result is adopted
+as ``done``, one without is re-queued).
+
+Replay folds transitions in file order into one :class:`JobState` per
+job.  The fold is deliberately idempotent for resubmission: a
+``submitted`` transition for a job that is already ``done`` or
+``quarantined`` is a no-op, so identical requests from many users cost
+one line and zero work — job ids are content hashes
+(:func:`repro.service.spool.job_id`), which makes the dedupe exact.
+
+Appends go through ``open(..., "a")`` — ``O_APPEND`` — and each
+transition is a single short ``write``, so the CLI ``submit`` path may
+append while a daemon holds the same WAL: POSIX keeps concurrent
+O_APPEND writes of one line each from interleaving.  The whole-file
+rewrite fallback only runs on a torn or headerless file, which the
+supervisor repairs before dispatching.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Optional
+
+from ..runtime.checkpoint import Journal
+
+#: WAL format tag; bump on incompatible transition-record changes.
+WAL_FORMAT = "repro-service-wal-v1"
+
+#: The chaos seam visited immediately before every WAL commit.
+LEDGER_SEAM = "service.ledger_write"
+
+# ----------------------------------------------------------------------
+# Job states
+# ----------------------------------------------------------------------
+SUBMITTED = "submitted"
+RUNNING = "running"
+DONE = "done"
+FAILED = "failed"
+QUARANTINED = "quarantined"
+CANCELLED = "cancelled"
+
+#: Every state a transition may carry.
+STATES = frozenset({SUBMITTED, RUNNING, DONE, FAILED, QUARANTINED,
+                    CANCELLED})
+
+#: States a job never leaves on its own (``submitted`` revives a
+#: cancelled job; ``done`` and ``quarantined`` are sticky).
+TERMINAL_STATES = frozenset({DONE, QUARANTINED, CANCELLED})
+
+
+@dataclass
+class JobState:
+    """One job's folded WAL state.
+
+    Attributes:
+        job_id: the content-hash id (see :func:`~repro.service.spool.
+            job_id`).
+        state: the latest folded state.
+        attempts: how many ``running`` transitions the job has had —
+            i.e. how many times a worker actually started it.
+        failures: *consecutive* failures since the last success; the
+            quarantine circuit breaker trips on this, and ``done``
+            resets it.
+        reason: the latest failure/quarantine/cancellation reason.
+        submit_seq: first-seen order in the WAL — the FIFO dispatch
+            order.
+        recovered: True when the final ``done`` was adopted from a
+            spooled result during crash recovery instead of a fresh
+            evaluation.
+    """
+
+    job_id: str
+    state: str = SUBMITTED
+    attempts: int = 0
+    failures: int = 0
+    reason: str = ""
+    submit_seq: int = 0
+    recovered: bool = False
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"job": self.job_id, "state": self.state,
+                "attempts": self.attempts, "failures": self.failures,
+                "reason": self.reason, "submit_seq": self.submit_seq,
+                "recovered": self.recovered}
+
+
+class Ledger:
+    """The service WAL: transitions in, a replayed job table out."""
+
+    def __init__(self, path: str | Path) -> None:
+        self.journal = Journal(path, fmt=WAL_FORMAT, seam=LEDGER_SEAM)
+
+    @property
+    def path(self) -> Path:
+        return self.journal.path
+
+    # ------------------------------------------------------------------
+    def append(self, job_id: str, state: str, *,
+               attempt: Optional[int] = None,
+               reason: Optional[str] = None,
+               recovered: bool = False) -> dict[str, Any]:
+        """Commit one state transition (fsynced before returning).
+
+        The wall-clock ``ts`` field feeds throughput metrics only; no
+        correctness decision reads it, so WAL replay stays
+        deterministic.
+        """
+        if state not in STATES:
+            raise ValueError(f"unknown job state {state!r}; "
+                             f"registered: {sorted(STATES)}")
+        record: dict[str, Any] = {
+            "format": WAL_FORMAT,
+            "kind": "transition",
+            "job": job_id,
+            "state": state,
+            "ts": round(time.time(), 6),
+        }
+        if attempt is not None:
+            record["attempt"] = attempt
+        if reason is not None:
+            record["reason"] = reason
+        if recovered:
+            record["recovered"] = True
+        self.journal.append(record)
+        return record
+
+    def transitions(self) -> list[dict]:
+        """Every WAL transition in commit order ([] when absent).
+
+        A torn final line — an append cut down by a crash — is dropped,
+        matching the journal's loses-at-most-one-record contract.
+        """
+        return [r for r in self.journal.records()
+                if r.get("kind") == "transition"]
+
+    def compact(self) -> None:
+        """Atomically repair a torn tail / re-canonicalise the WAL."""
+        self.journal.compact()
+
+    # ------------------------------------------------------------------
+    def replay(self) -> dict[str, JobState]:
+        """Fold the WAL into the current job table (submit order)."""
+        return fold_transitions(self.transitions())
+
+
+def fold_transitions(transitions: list[dict]) -> dict[str, JobState]:
+    """Fold transition records into per-job states.
+
+    Fold rules (applied in WAL order):
+
+    * ``submitted`` — creates the job on first sight; afterwards it is
+      a no-op unless the job is ``cancelled`` (resubmission revives
+      it) or ``running``/``failed`` during crash recovery (the
+      supervisor re-queues an interrupted attempt explicitly).
+    * ``running`` — counts an attempt.
+    * ``failed`` — counts a consecutive failure, keeps the reason.
+    * ``done`` — terminal success; resets the consecutive-failure
+      counter.
+    * ``quarantined`` — terminal; the circuit breaker tripped.
+    * ``cancelled`` — terminal until a later ``submitted`` revives it.
+    """
+    jobs: dict[str, JobState] = {}
+    for record in transitions:
+        job_id = record.get("job")
+        state = record.get("state")
+        if not isinstance(job_id, str) or state not in STATES:
+            continue
+        job = jobs.get(job_id)
+        if job is None:
+            job = JobState(job_id=job_id, submit_seq=len(jobs))
+            jobs[job_id] = job
+            if state == SUBMITTED:
+                continue
+        if state == SUBMITTED:
+            if job.state in (CANCELLED, RUNNING, FAILED):
+                job.state = SUBMITTED
+            continue
+        if state == RUNNING:
+            job.attempts += 1
+            job.state = RUNNING
+        elif state == FAILED:
+            job.failures += 1
+            job.reason = str(record.get("reason", ""))
+            job.state = FAILED
+        elif state == DONE:
+            if job.state in (DONE, QUARANTINED):
+                continue
+            job.failures = 0
+            job.recovered = bool(record.get("recovered", False))
+            job.state = DONE
+        elif state == QUARANTINED:
+            if job.state == DONE:
+                continue
+            job.reason = str(record.get("reason", ""))
+            job.state = QUARANTINED
+        elif state == CANCELLED:
+            if job.state in (DONE, QUARANTINED):
+                continue
+            job.reason = str(record.get("reason", "cancelled"))
+            job.state = CANCELLED
+    return jobs

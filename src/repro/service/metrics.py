@@ -1,0 +1,90 @@
+"""Service observability: fold the WAL into operator-facing counters.
+
+``repro-hlts serve --stats`` and the service benchmark both read the
+same numbers, and both compute them the same way — by folding the WAL,
+never by trusting in-memory state — so the stats survive any number of
+daemon restarts and describe exactly what the ledger can prove.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from .ledger import (DONE, FAILED, QUARANTINED, RUNNING, STATES,
+                     SUBMITTED)
+from .spool import Spool
+
+
+def service_stats(spool: Spool) -> dict[str, Any]:
+    """Fold one spool's WAL into a flat metrics dict.
+
+    Returns counters over the ledger's whole history: jobs by current
+    state, transition totals (``attempts`` = ``running`` transitions,
+    ``retries`` = ``failed`` transitions), recovery/reap counts, and
+    done-job throughput over the WAL's wall-clock span.
+    """
+    transitions = spool.ledger.transitions()
+    states = spool.ledger.replay()
+    by_state = {state: 0 for state in sorted(STATES)}
+    for job in states.values():
+        by_state[job.state] = by_state.get(job.state, 0) + 1
+    transition_counts: dict[str, int] = {}
+    for record in transitions:
+        state = record.get("state")
+        if isinstance(state, str):
+            transition_counts[state] = transition_counts.get(state, 0) + 1
+    # A reap is ledgered as a failed transition, or folded straight
+    # into the quarantine reason when it tripped the circuit breaker.
+    reaped = sum(1 for r in transitions
+                 if r.get("state") in (FAILED, QUARANTINED)
+                 and "reaped: " in str(r.get("reason", "")))
+    recovered = sum(1 for job in states.values()
+                    if job.state == DONE and job.recovered)
+    timestamps = [r["ts"] for r in transitions
+                  if isinstance(r.get("ts"), (int, float))]
+    done_timestamps = [r["ts"] for r in transitions
+                       if r.get("state") == DONE
+                       and isinstance(r.get("ts"), (int, float))]
+    span = (max(done_timestamps) - min(timestamps)
+            if done_timestamps and timestamps else 0.0)
+    throughput = (len(done_timestamps) / span if span > 0 else None)
+    return {
+        "spool": str(spool.root),
+        "jobs": len(states),
+        "by_state": by_state,
+        "transitions": len(transitions),
+        "attempts": transition_counts.get(RUNNING, 0),
+        "retries": transition_counts.get(FAILED, 0),
+        "quarantined_transitions": transition_counts.get(QUARANTINED, 0),
+        "resubmissions": max(0, transition_counts.get(SUBMITTED, 0)
+                             - len(states)),
+        "recovered": recovered,
+        "reaped": reaped,
+        "wal_span_seconds": round(span, 6),
+        "throughput_done_per_second": (round(throughput, 6)
+                                       if throughput is not None else None),
+    }
+
+
+def render_stats(stats: dict[str, Any]) -> str:
+    """A fixed-width operator summary of :func:`service_stats`."""
+    lines = [
+        f"spool        {stats['spool']}",
+        f"jobs         {stats['jobs']}",
+    ]
+    by_state = stats.get("by_state", {})
+    for state in sorted(by_state):
+        if by_state[state]:
+            lines.append(f"  {state:<12}{by_state[state]}")
+    lines += [
+        f"transitions  {stats['transitions']}",
+        f"attempts     {stats['attempts']}",
+        f"retries      {stats['retries']}",
+        f"recovered    {stats['recovered']}",
+        f"reaped       {stats['reaped']}",
+    ]
+    throughput = stats.get("throughput_done_per_second")
+    if throughput is not None:
+        lines.append(f"throughput   {throughput:.3f} done/s "
+                     f"over {stats['wal_span_seconds']:.1f}s")
+    return "\n".join(lines)

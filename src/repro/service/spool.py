@@ -1,0 +1,252 @@
+"""Filesystem job spool: the service's network-free transport.
+
+A spool directory is the whole wire protocol — ``submit``/``status``/
+``result``/``cancel`` work by reading and atomically writing files, so
+the service needs no sockets, no serialisation framework and no
+external dependencies::
+
+    spool/
+      wal.jsonl            # the write-ahead job ledger (Ledger)
+      jobs/<id>.json       # one job request per file, atomic write
+      results/<id>.json    # one result envelope per finished job
+      cache/               # default ResultCache disk tier (supervisor)
+
+Job ids are the existing SHA-256 content hash of DFG + flow + params
+(:func:`repro.harness.cache.cell_key`), so identical requests from any
+number of clients collapse onto one id: resubmission is an O(1) WAL
+no-op, and a completed result is served to every submitter.  A request
+naming an unknown benchmark still gets a stable content-hash id (over
+the canonical request material) — such poison jobs must flow through
+the queue to be quarantined, not crash the submit path.
+
+Results are stored as an envelope around the exact journal cell record
+the checkpoint/cache layers use, so a spooled result renders
+identically to a live run and byte-identity checks reuse
+:func:`~repro.runtime.checkpoint.scrubbed_records`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Any, Optional
+
+from ..runtime.atomic import atomic_write_text
+from .ledger import (CANCELLED, FAILED, Ledger, JobState, SUBMITTED,
+                     TERMINAL_STATES)
+
+#: Job request file format tag.
+JOB_FORMAT = "repro-service-job-v1"
+
+#: Result envelope format tag.
+RESULT_FORMAT = "repro-service-result-v1"
+
+
+@dataclass(frozen=True)
+class JobRequest:
+    """One synthesis job: an experiment cell plus per-job budgets.
+
+    The optional knobs override the :class:`~repro.harness.experiment.
+    ExperimentConfig.quick` defaults for the requested bit width —
+    tests and demo jobs shrink fault fractions and random-phase budgets
+    to stay fast; production jobs leave them None.
+    """
+
+    benchmark: str
+    flow: str = "ours"
+    bits: int = 8
+    #: Per-job wall-clock deadline (seconds); also the reap horizon.
+    deadline_seconds: Optional[float] = None
+    #: Per-job abstract step ceiling (Budget max_steps).
+    max_steps: Optional[int] = None
+    fault_fraction: Optional[float] = None
+    max_sequences: Optional[int] = None
+    saturation: Optional[int] = None
+    sequence_length: Optional[int] = None
+    max_backtracks: Optional[int] = None
+
+    # ------------------------------------------------------------------
+    def config(self) -> Any:
+        """The :class:`ExperimentConfig` this request evaluates under."""
+        from dataclasses import replace
+
+        from ..harness.experiment import ExperimentConfig
+
+        config = ExperimentConfig.quick(self.bits)
+        if self.fault_fraction is not None:
+            config = replace(config, fault_fraction=self.fault_fraction)
+        if self.max_backtracks is not None:
+            config = replace(config, max_backtracks=self.max_backtracks)
+        random = config.random
+        updates: dict[str, Any] = {}
+        if self.max_sequences is not None:
+            updates["max_sequences"] = self.max_sequences
+        if self.saturation is not None:
+            updates["saturation"] = self.saturation
+        if self.sequence_length is not None:
+            updates["sequence_length"] = self.sequence_length
+        if updates:
+            config = replace(config, random=replace(random, **updates))
+        return config
+
+    def to_dict(self) -> dict[str, Any]:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "JobRequest":
+        known = {f for f in cls.__dataclass_fields__}
+        return cls(**{k: v for k, v in data.items() if k in known})
+
+
+def job_id(request: JobRequest) -> str:
+    """The content-hash id of a request.
+
+    For a registered benchmark this is exactly the cell cache key —
+    SHA-256 over the canonical DFG, flow, bit width and full
+    experiment config (:func:`repro.harness.cache.cell_key`) plus the
+    per-job budgets — so a job and its cache entry agree on identity.
+    An unknown benchmark cannot be loaded; its id hashes the canonical
+    request material instead (stable, but never colliding with a real
+    cell key).
+    """
+    from ..bench import load
+    from ..harness.cache import cell_key
+
+    material: dict[str, Any] = {
+        "kind": "service-job",
+        "deadline_seconds": request.deadline_seconds,
+        "max_steps": request.max_steps,
+    }
+    try:
+        dfg = load(request.benchmark)
+    except KeyError:
+        material["request"] = request.to_dict()
+    else:
+        material["cell"] = cell_key(dfg, request.flow, request.bits,
+                                    request.config())
+    blob = json.dumps(material, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+class Spool:
+    """One service instance's job directory (transport + persistence)."""
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+        self.jobs_dir = self.root / "jobs"
+        self.results_dir = self.root / "results"
+        self.ledger = Ledger(self.root / "wal.jsonl")
+
+    # ------------------------------------------------------------------
+    # Submission
+    # ------------------------------------------------------------------
+    def submit(self, request: JobRequest) -> tuple[str, bool]:
+        """Spool a job; returns ``(job_id, newly_queued)``.
+
+        Idempotent by construction: resubmitting identical content
+        yields the same id, and only a job the ledger does not already
+        track as queued/running/finished gets a new ``submitted``
+        transition (a ``cancelled`` job is revived).
+        """
+        jid = job_id(request)
+        path = self.jobs_dir / f"{jid}.json"
+        if not path.exists():
+            self.jobs_dir.mkdir(parents=True, exist_ok=True)
+            atomic_write_text(path, json.dumps(
+                {"format": JOB_FORMAT, "id": jid,
+                 "request": request.to_dict()}, sort_keys=True) + "\n")
+        state = self.ledger.replay().get(jid)
+        if state is None or state.state == CANCELLED:
+            self.ledger.append(jid, SUBMITTED)
+            return jid, True
+        return jid, False
+
+    def request(self, jid: str) -> JobRequest:
+        """The spooled request of a job (raises KeyError when absent)."""
+        path = self.jobs_dir / f"{jid}.json"
+        try:
+            data = json.loads(path.read_text())
+        except (OSError, ValueError):
+            raise KeyError(f"no spooled request for job {jid!r}") from None
+        if not (isinstance(data, dict) and data.get("format") == JOB_FORMAT
+                and isinstance(data.get("request"), dict)):
+            raise KeyError(f"malformed request file for job {jid!r}")
+        return JobRequest.from_dict(data["request"])
+
+    # ------------------------------------------------------------------
+    # Results
+    # ------------------------------------------------------------------
+    def result_path(self, jid: str) -> Path:
+        return self.results_dir / f"{jid}.json"
+
+    def write_result(self, jid: str, record: dict) -> None:
+        """Atomically spool one finished job's cell record."""
+        self.results_dir.mkdir(parents=True, exist_ok=True)
+        atomic_write_text(self.result_path(jid), json.dumps(
+            {"format": RESULT_FORMAT, "job": jid, "record": record},
+            sort_keys=True) + "\n")
+
+    def read_result(self, jid: str) -> Optional[dict]:
+        """A job's spooled cell record, or None (corrupt == absent)."""
+        try:
+            data = json.loads(self.result_path(jid).read_text())
+        except (OSError, ValueError):
+            return None
+        if (isinstance(data, dict) and data.get("format") == RESULT_FORMAT
+                and data.get("job") == jid
+                and isinstance(data.get("record"), dict)):
+            return data["record"]
+        return None
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def states(self) -> dict[str, JobState]:
+        """The replayed job table, in submit order."""
+        return self.ledger.replay()
+
+    def job_ids(self) -> list[str]:
+        """Every job the spool knows (ledgered or merely spooled)."""
+        ids = list(self.states())
+        seen = set(ids)
+        if self.jobs_dir.is_dir():
+            for path in sorted(self.jobs_dir.glob("*.json")):
+                if path.stem not in seen:
+                    seen.add(path.stem)
+                    ids.append(path.stem)
+        return ids
+
+    def resolve(self, prefix: str) -> str:
+        """Expand a unique job-id prefix (git-style UX).
+
+        Raises:
+            KeyError: no job matches, or the prefix is ambiguous.
+        """
+        matches = [jid for jid in self.job_ids() if jid.startswith(prefix)]
+        if not matches:
+            raise KeyError(f"no spooled job matches {prefix!r}")
+        if len(matches) > 1:
+            raise KeyError(f"ambiguous job prefix {prefix!r} "
+                           f"({len(matches)} matches)")
+        return matches[0]
+
+    def cancel(self, jid: str, reason: str = "cancelled by user") -> bool:
+        """Cancel a queued (or retry-pending) job.
+
+        Only ``submitted`` and ``failed`` jobs can be cancelled — a
+        running job finishes (its result is cached work, not waste) and
+        terminal states stay terminal.  Returns True when a
+        ``cancelled`` transition was committed.
+        """
+        state = self.states().get(jid)
+        if state is None or state.state not in (SUBMITTED, FAILED):
+            return False
+        self.ledger.append(jid, CANCELLED, reason=reason)
+        return True
+
+
+def is_terminal(state: str) -> bool:
+    """True for states a drained queue may end on."""
+    return state in TERMINAL_STATES

@@ -91,3 +91,50 @@ class TestExploreGrid:
                     for p in points]
 
         assert flatten(par) == flatten(seq)
+
+
+class TestInterrupt:
+    def test_inline_interrupt_returns_partial_grid(self, tmp_path,
+                                                   monkeypatch):
+        import repro.harness.parallel as parallel_module
+
+        journal = Journal(tmp_path / "grid.jsonl")
+        real_inline = parallel_module._run_cell_inline
+
+        def interrupting(benchmark, flow, bits, config, cache, budget,
+                         injections):
+            if flow == "approach2":
+                raise KeyboardInterrupt
+            return real_inline(benchmark, flow, bits, config, cache,
+                               budget, injections)
+
+        monkeypatch.setattr(parallel_module, "_run_cell_inline",
+                            interrupting)
+        outcome = run_parallel_grid("ex", GRID, _tiny_config, workers=1,
+                                    journal=journal)
+        assert outcome.interrupted
+        assert len(outcome.cells) == 1          # camad finished first
+        assert [s.key for s in outcome.skipped] == [("ex", "approach2", 4)]
+        assert outcome.skipped[0].reason == "interrupted"
+        # the finished cell was journaled before the interrupt, so a
+        # resume completes the grid without an interrupt in sight
+        monkeypatch.setattr(parallel_module, "_run_cell_inline",
+                            real_inline)
+        resumed = run_parallel_grid("ex", GRID, _tiny_config, workers=1,
+                                    journal=journal, resume=True)
+        assert resumed.ok() and not resumed.interrupted
+        assert resumed.replayed == 1 and resumed.computed == 1
+
+    def test_pool_interrupt_cancels_and_marks_pending(self, monkeypatch):
+        import repro.harness.parallel as parallel_module
+
+        def interrupting_wait(not_done, return_when=None):
+            raise KeyboardInterrupt
+
+        monkeypatch.setattr(parallel_module, "wait", interrupting_wait)
+        outcome = run_parallel_grid("ex", GRID, _tiny_config, workers=2)
+        assert outcome.interrupted and not outcome.ok()
+        assert len(outcome.cells) == 0
+        assert sorted(s.key for s in outcome.skipped) == \
+            sorted(("ex", flow, bits) for flow, bits in GRID)
+        assert all(s.reason == "interrupted" for s in outcome.skipped)

@@ -1,0 +1,143 @@
+"""The ``repro-hlts serve`` command tree, exercised in-process.
+
+``serve run`` is made fast by monkeypatching the supervisor's
+evaluator; the poison-job test uses the real path (an unknown
+benchmark fails in milliseconds).  One subprocess test proves the
+SIGTERM contract on an idle daemon.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+from repro import cli
+from repro.service import supervisor as supervisor_module
+
+
+def _fake_record(request):
+    return {"format": "repro-journal-v1", "kind": "cell",
+            "benchmark": request.benchmark, "flow": request.flow,
+            "bits": request.bits, "row": {"ok": True}, "alloc": []}
+
+
+def _serve(*argv):
+    return cli.main(["serve", *argv])
+
+
+def _submit(tmp_path, capsys, benchmark="ex", *extra) -> str:
+    rc = _serve("submit", benchmark, "--bits", "4",
+                "--spool", str(tmp_path), *extra)
+    out = capsys.readouterr().out
+    assert rc == 0
+    return out.split()[0]
+
+
+class TestSubmitStatusResult:
+    def test_submit_is_idempotent_and_prints_the_id(self, tmp_path,
+                                                    capsys):
+        jid = _submit(tmp_path, capsys)
+        assert len(jid) == 64
+        assert _serve("submit", "ex", "--bits", "4",
+                      "--spool", str(tmp_path)) == 0
+        assert "already spooled" in capsys.readouterr().out
+
+    def test_round_trip_submit_run_status_result_stats(
+            self, tmp_path, capsys, monkeypatch):
+        monkeypatch.setattr(supervisor_module, "_execute_request",
+                            lambda request, cache: _fake_record(request))
+        jid = _submit(tmp_path, capsys)
+
+        assert _serve("run", "--backoff-base", "0", "--no-cache",
+                      "--spool", str(tmp_path)) == 0
+        assert "1 done" in capsys.readouterr().out
+
+        assert _serve("status", "--spool", str(tmp_path)) == 0
+        table = capsys.readouterr().out
+        assert jid[:12] in table and "done" in table
+
+        assert _serve("status", jid[:8], "--spool", str(tmp_path)) == 0
+        detail = json.loads(capsys.readouterr().out)
+        assert detail["state"] == "done" and detail["attempts"] == 1
+
+        assert _serve("result", jid[:8], "--spool", str(tmp_path)) == 0
+        record = json.loads(capsys.readouterr().out)
+        assert record["kind"] == "cell" and record["benchmark"] == "ex"
+
+        assert _serve("stats", "--spool", str(tmp_path)) == 0
+        stats = capsys.readouterr().out
+        assert "done" in stats and "jobs         1" in stats
+        # the parent-level flag reads the same numbers
+        assert _serve("--spool", str(tmp_path), "--stats") == 0
+
+    def test_result_before_completion_fails(self, tmp_path, capsys):
+        jid = _submit(tmp_path, capsys)
+        assert _serve("result", jid[:8], "--spool", str(tmp_path)) == 1
+        assert "no result" in capsys.readouterr().err
+
+    def test_unknown_job_prefix_fails(self, tmp_path, capsys):
+        _submit(tmp_path, capsys)
+        assert _serve("status", "zzzz", "--spool", str(tmp_path)) == 1
+        assert "no spooled job" in capsys.readouterr().err
+
+    def test_serve_without_subcommand_errors(self, tmp_path, capsys):
+        assert _serve("--spool", str(tmp_path)) == 2
+        assert "needs a subcommand" in capsys.readouterr().err
+
+
+class TestCancel:
+    def test_cancel_then_cancel_again(self, tmp_path, capsys):
+        jid = _submit(tmp_path, capsys)
+        assert _serve("cancel", jid[:8], "--spool", str(tmp_path)) == 0
+        assert "cancelled" in capsys.readouterr().out
+        assert _serve("cancel", jid[:8], "--spool", str(tmp_path)) == 1
+        assert "cannot cancel" in capsys.readouterr().err
+
+
+class TestPoisonJob:
+    def test_unknown_benchmark_quarantines_and_fails_the_run(
+            self, tmp_path, capsys, monkeypatch):
+        poison = _submit(tmp_path, capsys, "no-such-benchmark")
+        monkeypatch.setattr(
+            supervisor_module, "_execute_request",
+            lambda request, cache: (_ for _ in ()).throw(
+                KeyError(f"unknown benchmark {request.benchmark!r}"))
+            if request.benchmark == "no-such-benchmark"
+            else _fake_record(request))
+        healthy = _submit(tmp_path, capsys)
+        assert _serve("run", "--max-attempts", "2", "--backoff-base", "0",
+                      "--no-cache", "--spool", str(tmp_path)) == 1
+        assert "1 quarantined" in capsys.readouterr().out
+        assert _serve("status", poison[:8], "--spool", str(tmp_path)) == 0
+        detail = json.loads(capsys.readouterr().out)
+        assert detail["state"] == "quarantined"
+        assert detail["attempts"] == 2
+        assert _serve("status", healthy[:8], "--spool", str(tmp_path)) == 0
+        assert json.loads(capsys.readouterr().out)["state"] == "done"
+
+
+class TestSignals:
+    def test_sigterm_drains_an_idle_daemon_with_exit_zero(self, tmp_path):
+        env = dict(os.environ)
+        src = str(Path(__file__).resolve().parents[1] / "src")
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        daemon = subprocess.Popen(
+            [sys.executable, "-m", "repro.cli", "serve",
+             "--spool", str(tmp_path), "run", "--daemon", "--no-cache"],
+            env=env, stdout=subprocess.PIPE, stderr=subprocess.PIPE,
+            text=True)
+        try:
+            time.sleep(1.0)
+            assert daemon.poll() is None  # --daemon does not exit on drain
+            daemon.send_signal(signal.SIGTERM)
+            out, _ = daemon.communicate(timeout=30)
+        finally:
+            if daemon.poll() is None:
+                daemon.kill()
+        assert daemon.returncode == 0
+        assert "stopped by SIGTERM" in out

@@ -1,0 +1,126 @@
+"""The service WAL: append, replay, fold rules, crash contract."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.runtime.chaos import (ACTION_RAISE, ChaosError, Injection)
+from repro.service.ledger import (CANCELLED, DONE, FAILED, QUARANTINED,
+                                  RUNNING, SUBMITTED, WAL_FORMAT, Ledger,
+                                  fold_transitions)
+
+
+def _wal(tmp_path):
+    return Ledger(tmp_path / "wal.jsonl")
+
+
+class TestAppend:
+    def test_transitions_round_trip_in_commit_order(self, tmp_path):
+        ledger = _wal(tmp_path)
+        ledger.append("j1", SUBMITTED)
+        ledger.append("j1", RUNNING, attempt=1)
+        ledger.append("j1", DONE, attempt=1)
+        states = [t["state"] for t in ledger.transitions()]
+        assert states == [SUBMITTED, RUNNING, DONE]
+
+    def test_every_transition_carries_format_and_timestamp(self, tmp_path):
+        ledger = _wal(tmp_path)
+        record = ledger.append("j1", SUBMITTED)
+        assert record["format"] == WAL_FORMAT
+        assert isinstance(record["ts"], float)
+
+    def test_unknown_state_is_rejected_before_committing(self, tmp_path):
+        ledger = _wal(tmp_path)
+        with pytest.raises(ValueError, match="unknown job state"):
+            ledger.append("j1", "exploded")
+        assert ledger.transitions() == []
+
+    def test_reason_and_recovered_are_preserved(self, tmp_path):
+        ledger = _wal(tmp_path)
+        ledger.append("j1", FAILED, reason="boom")
+        ledger.append("j1", DONE, recovered=True)
+        transitions = ledger.transitions()
+        assert transitions[0]["reason"] == "boom"
+        assert transitions[1]["recovered"] is True
+
+    def test_append_visits_the_service_ledger_seam(self, tmp_path, chaos):
+        ledger = _wal(tmp_path)
+        chaos(Injection("service.ledger_write", ACTION_RAISE))
+        with pytest.raises(ChaosError):
+            ledger.append("j1", SUBMITTED)
+        assert ledger.transitions() == []  # failure landed pre-commit
+
+
+class TestCrashContract:
+    def test_torn_final_line_is_dropped_on_replay(self, tmp_path):
+        ledger = _wal(tmp_path)
+        ledger.append("j1", SUBMITTED)
+        ledger.append("j1", RUNNING)
+        with open(ledger.path, "a") as handle:
+            handle.write('{"format": "repro-service-wal-v1", "kind": "tr')
+        assert [t["state"] for t in ledger.transitions()] == [SUBMITTED,
+                                                              RUNNING]
+
+    def test_compact_repairs_a_torn_tail(self, tmp_path):
+        ledger = _wal(tmp_path)
+        ledger.append("j1", SUBMITTED)
+        with open(ledger.path, "a") as handle:
+            handle.write('{"torn')
+        ledger.compact()
+        lines = ledger.path.read_text().splitlines()
+        assert len(lines) == 1 and json.loads(lines[0])["job"] == "j1"
+
+    def test_empty_ledger_replays_to_empty_table(self, tmp_path):
+        assert _wal(tmp_path).replay() == {}
+
+
+def _fold(*pairs):
+    return fold_transitions([{"job": job, "state": state}
+                             for job, state in pairs])
+
+
+class TestFoldRules:
+    def test_happy_path_counts_one_attempt(self):
+        (state,) = _fold(("j", SUBMITTED), ("j", RUNNING),
+                         ("j", DONE)).values()
+        assert (state.state, state.attempts, state.failures) == (DONE, 1, 0)
+
+    def test_done_resets_consecutive_failures(self):
+        (state,) = _fold(("j", SUBMITTED), ("j", RUNNING), ("j", FAILED),
+                         ("j", RUNNING), ("j", DONE)).values()
+        assert state.failures == 0 and state.attempts == 2
+
+    def test_resubmitting_a_done_job_is_a_noop(self):
+        (state,) = _fold(("j", SUBMITTED), ("j", RUNNING), ("j", DONE),
+                         ("j", SUBMITTED)).values()
+        assert state.state == DONE
+
+    def test_resubmitting_revives_a_cancelled_job(self):
+        (state,) = _fold(("j", SUBMITTED), ("j", CANCELLED),
+                         ("j", SUBMITTED)).values()
+        assert state.state == SUBMITTED
+
+    def test_quarantine_is_sticky_against_cancel(self):
+        (state,) = _fold(("j", SUBMITTED), ("j", QUARANTINED),
+                         ("j", CANCELLED)).values()
+        assert state.state == QUARANTINED
+
+    def test_done_wins_over_a_later_stray_quarantine(self):
+        (state,) = _fold(("j", SUBMITTED), ("j", RUNNING), ("j", DONE),
+                         ("j", QUARANTINED)).values()
+        assert state.state == DONE
+
+    def test_submit_seq_preserves_fifo_order(self):
+        states = _fold(("a", SUBMITTED), ("b", SUBMITTED),
+                       ("c", SUBMITTED))
+        assert [s.submit_seq for s in states.values()] == [0, 1, 2]
+
+    def test_malformed_transitions_are_skipped(self):
+        states = fold_transitions([
+            {"job": "j", "state": SUBMITTED},
+            {"job": None, "state": RUNNING},
+            {"job": "j", "state": "not-a-state"},
+        ])
+        assert states["j"].state == SUBMITTED and states["j"].attempts == 0

@@ -1,0 +1,186 @@
+"""Kill-and-restart properties of the service.
+
+The acceptance bar for the WAL design: for EVERY registered
+``service.*`` chaos seam, killing the supervisor at that seam and
+restarting must drain the queue to the same results as an
+uninterrupted run — no lost jobs, no duplicated completed work.  A
+hard-kill variant (``os._exit`` inside a WAL commit, no exception
+unwinding, no ``finally`` blocks) proves the property does not depend
+on orderly shutdown.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.runtime.chaos import ChaosCrash, ChaosInjector, Injection
+from repro.runtime.checkpoint import scrubbed_records
+from repro.service import (JobRequest, RetryPolicy, Spool, Supervisor)
+from repro.service import supervisor as supervisor_module
+
+QUICK = dict(flow="ours", bits=4, fault_fraction=0.25, max_sequences=4,
+             saturation=2, sequence_length=6, max_backtracks=16)
+
+
+def _submit_two(spool):
+    jobs = []
+    for benchmark in ("ex", "paulin"):
+        jid, _ = spool.submit(JobRequest(benchmark=benchmark, **QUICK))
+        jobs.append(jid)
+    return jobs
+
+
+def _fake_record(request):
+    return {"format": "repro-journal-v1", "kind": "cell",
+            "benchmark": request.benchmark, "flow": request.flow,
+            "bits": request.bits, "row": {"ok": True}, "alloc": []}
+
+
+def _supervisor(spool):
+    return Supervisor(spool, retry=RetryPolicy(backoff_base=0.0),
+                      poll_seconds=0.01)
+
+
+def _reference(tmp_path, monkeypatch) -> str:
+    monkeypatch.setattr(supervisor_module, "_execute_request",
+                        lambda request, cache: _fake_record(request))
+    spool = Spool(tmp_path / "reference")
+    jobs = _submit_two(spool)
+    _supervisor(spool).run()
+    return scrubbed_records([spool.read_result(j) for j in jobs])
+
+
+#: (seam, crash visit, j2 executions expected after restart,
+#:  restart must adopt j2's spooled result).  Visit counts follow the
+#: two-job inline drain: dequeue/dispatch/reap are visited once per
+#: job, ledger_write once per transition (run j1, done j1, run j2,
+#: done j2).
+CRASH_PLANS = [
+    ("service.dequeue", 2, 1, False),       # picking j2 off the queue
+    ("service.dispatch", 2, 1, False),      # before j2 evaluates
+    ("service.worker_reap", 2, 0, True),    # j2's result already spooled
+    ("service.ledger_write", 4, 0, True),   # inside j2's done commit
+]
+
+
+class TestCrashRestartSweep:
+    @pytest.mark.parametrize("seam,visit,reruns,adopts",
+                             CRASH_PLANS,
+                             ids=[p[0] for p in CRASH_PLANS])
+    def test_kill_at_seam_then_restart_matches_uninterrupted(
+            self, tmp_path, monkeypatch, seam, visit, reruns, adopts):
+        reference = _reference(tmp_path, monkeypatch)
+        executions: list[str] = []
+
+        def counting(request, cache):
+            executions.append(request.benchmark)
+            return _fake_record(request)
+
+        monkeypatch.setattr(supervisor_module, "_execute_request",
+                            counting)
+        spool = Spool(tmp_path / "crashed")
+        jobs = _submit_two(spool)
+        with pytest.raises(ChaosCrash):
+            with ChaosInjector(Injection(seam, "crash", at_visit=visit)):
+                _supervisor(spool).run()
+        executions_at_crash = list(executions)
+
+        restarted = _supervisor(spool).run()
+
+        states = spool.states()
+        assert all(states[j].state == "done" for j in jobs), seam
+        assert restarted.drained and restarted.ok()
+        assert scrubbed_records(
+            [spool.read_result(j) for j in jobs]) == reference
+        # j2 ran exactly as many more times as the crash point requires:
+        # never re-evaluated once its result hit the spool.
+        assert executions.count("paulin") == \
+            executions_at_crash.count("paulin") + reruns
+        assert (restarted.recovered == 1) == adopts
+        # j1 completed before every crash point and is never redone
+        assert executions.count("ex") == 1 and states[jobs[0]].attempts == 1
+
+
+_HARD_KILL_SCRIPT = """
+import os, sys
+from repro.service import RetryPolicy, Spool, Supervisor
+from repro.service import supervisor as supervisor_module
+from repro.service.ledger import Ledger
+
+def fake(request, cache):
+    return {"format": "repro-journal-v1", "kind": "cell",
+            "benchmark": request.benchmark, "flow": request.flow,
+            "bits": request.bits, "row": {"ok": True}, "alloc": []}
+
+supervisor_module._execute_request = fake
+original_append = Ledger.append
+calls = {"n": 0}
+
+def dying_append(self, *args, **kwargs):
+    calls["n"] += 1
+    if calls["n"] == int(sys.argv[2]):
+        os._exit(7)  # hard kill: no unwinding, no finally, no flush
+    return original_append(self, *args, **kwargs)
+
+Ledger.append = dying_append
+Supervisor(Spool(sys.argv[1]),
+           retry=RetryPolicy(backoff_base=0.0)).run()
+"""
+
+
+class TestHardKill:
+    def test_os_exit_inside_a_wal_commit_recovers_on_restart(
+            self, tmp_path, monkeypatch):
+        spool = Spool(tmp_path / "spool")
+        jobs = _submit_two(spool)
+        env = dict(os.environ)
+        src = str(Path(__file__).resolve().parents[1] / "src")
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        # append #4 is j2's done commit: its result is spooled, the
+        # transition is not
+        process = subprocess.run(
+            [sys.executable, "-c", _HARD_KILL_SCRIPT,
+             str(spool.root), "4"],
+            env=env, capture_output=True, text=True, timeout=120)
+        assert process.returncode == 7, process.stderr
+        assert spool.states()[jobs[1]].state == "running"
+        assert spool.read_result(jobs[1]) is not None
+
+        executions = []
+        monkeypatch.setattr(
+            supervisor_module, "_execute_request",
+            lambda request, cache: (executions.append(request.benchmark),
+                                    _fake_record(request))[1])
+        restarted = _supervisor(spool).run()
+        states = spool.states()
+        assert all(states[j].state == "done" for j in jobs)
+        assert restarted.recovered == 1 and states[jobs[1]].recovered
+        assert executions == []  # nothing re-evaluated after the kill
+        assert all(states[j].attempts == 1 for j in jobs)
+
+    def test_os_exit_before_any_commit_reruns_the_job(self, tmp_path,
+                                                      monkeypatch):
+        spool = Spool(tmp_path / "spool")
+        jobs = _submit_two(spool)
+        env = dict(os.environ)
+        src = str(Path(__file__).resolve().parents[1] / "src")
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        # append #3 is j2's running commit: killed before anything about
+        # j2's attempt is durable
+        process = subprocess.run(
+            [sys.executable, "-c", _HARD_KILL_SCRIPT,
+             str(spool.root), "3"],
+            env=env, capture_output=True, text=True, timeout=120)
+        assert process.returncode == 7, process.stderr
+        assert spool.states()[jobs[1]].state == "submitted"
+
+        monkeypatch.setattr(supervisor_module, "_execute_request",
+                            lambda request, cache: _fake_record(request))
+        restarted = _supervisor(spool).run()
+        assert restarted.done == 1 and restarted.recovered == 0
+        assert all(spool.states()[j].state == "done" for j in jobs)

@@ -1,0 +1,138 @@
+"""The filesystem spool: content-hash ids, idempotent submission,
+results, prefix resolution and cancellation rules."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.service.spool import JobRequest, Spool, job_id
+
+
+def _request(**overrides):
+    defaults = dict(benchmark="ex", flow="ours", bits=4,
+                    fault_fraction=0.25, max_sequences=4, saturation=2,
+                    sequence_length=6, max_backtracks=16)
+    defaults.update(overrides)
+    return JobRequest(**defaults)
+
+
+class TestJobIdentity:
+    def test_identical_requests_share_one_id(self):
+        assert job_id(_request()) == job_id(_request())
+
+    def test_id_covers_the_experiment_content(self):
+        base = job_id(_request())
+        assert job_id(_request(bits=8)) != base
+        assert job_id(_request(flow="camad")) != base
+        assert job_id(_request(benchmark="paulin")) != base
+        assert job_id(_request(fault_fraction=0.5)) != base
+
+    def test_id_covers_the_per_job_budgets(self):
+        base = job_id(_request())
+        assert job_id(_request(deadline_seconds=1.0)) != base
+        assert job_id(_request(max_steps=100)) != base
+
+    def test_unknown_benchmark_still_gets_a_stable_id(self):
+        poison = JobRequest(benchmark="not-a-benchmark", bits=4)
+        assert job_id(poison) == job_id(
+            JobRequest(benchmark="not-a-benchmark", bits=4))
+        assert job_id(poison) != job_id(_request())
+
+    def test_request_dict_round_trip(self):
+        request = _request(deadline_seconds=2.5)
+        assert JobRequest.from_dict(request.to_dict()) == request
+
+    def test_from_dict_ignores_unknown_fields(self):
+        data = dict(_request().to_dict(), extra_field="ignored")
+        assert JobRequest.from_dict(data) == _request()
+
+
+class TestSubmission:
+    def test_submit_spools_request_and_ledgers_it(self, tmp_path):
+        spool = Spool(tmp_path)
+        jid, queued = spool.submit(_request())
+        assert queued
+        assert spool.request(jid) == _request()
+        assert spool.states()[jid].state == "submitted"
+
+    def test_resubmission_is_an_idempotent_noop(self, tmp_path):
+        spool = Spool(tmp_path)
+        jid, _ = spool.submit(_request())
+        jid2, queued = spool.submit(_request())
+        assert jid2 == jid and not queued
+        assert len(spool.ledger.transitions()) == 1
+
+    def test_resubmission_revives_a_cancelled_job(self, tmp_path):
+        spool = Spool(tmp_path)
+        jid, _ = spool.submit(_request())
+        assert spool.cancel(jid)
+        _, queued = spool.submit(_request())
+        assert queued and spool.states()[jid].state == "submitted"
+
+    def test_missing_request_raises_key_error(self, tmp_path):
+        with pytest.raises(KeyError, match="no spooled request"):
+            Spool(tmp_path).request("deadbeef")
+
+
+class TestResults:
+    def test_result_round_trip(self, tmp_path):
+        spool = Spool(tmp_path)
+        record = {"kind": "cell", "benchmark": "ex", "row": {"e": 7}}
+        spool.write_result("j1", record)
+        assert spool.read_result("j1") == record
+
+    def test_corrupt_result_reads_as_absent(self, tmp_path):
+        spool = Spool(tmp_path)
+        spool.write_result("j1", {"kind": "cell"})
+        spool.result_path("j1").write_text("{not json")
+        assert spool.read_result("j1") is None
+
+    def test_result_for_a_different_job_reads_as_absent(self, tmp_path):
+        spool = Spool(tmp_path)
+        spool.write_result("j1", {"kind": "cell"})
+        envelope = json.loads(spool.result_path("j1").read_text())
+        envelope["job"] = "j2"
+        spool.result_path("j1").write_text(json.dumps(envelope))
+        assert spool.read_result("j1") is None
+
+
+class TestQueries:
+    def test_resolve_expands_a_unique_prefix(self, tmp_path):
+        spool = Spool(tmp_path)
+        jid, _ = spool.submit(_request())
+        assert spool.resolve(jid[:8]) == jid
+
+    def test_resolve_rejects_missing_and_ambiguous(self, tmp_path):
+        spool = Spool(tmp_path)
+        spool.submit(_request())
+        spool.submit(_request(bits=8))
+        with pytest.raises(KeyError, match="no spooled job"):
+            spool.resolve("zzzz")
+        with pytest.raises(KeyError, match="ambiguous"):
+            spool.resolve("")
+
+    def test_job_ids_lists_ledger_order(self, tmp_path):
+        spool = Spool(tmp_path)
+        first, _ = spool.submit(_request())
+        second, _ = spool.submit(_request(bits=8))
+        assert spool.job_ids() == [first, second]
+
+
+class TestCancel:
+    def test_only_queued_or_failed_jobs_cancel(self, tmp_path):
+        spool = Spool(tmp_path)
+        jid, _ = spool.submit(_request())
+        spool.ledger.append(jid, "running")
+        assert not spool.cancel(jid)  # running work is never wasted
+        spool.ledger.append(jid, "failed", reason="x")
+        assert spool.cancel(jid)  # a retry-pending job is cancellable
+
+    def test_terminal_states_stay_terminal(self, tmp_path):
+        spool = Spool(tmp_path)
+        jid, _ = spool.submit(_request())
+        spool.ledger.append(jid, "running")
+        spool.ledger.append(jid, "done")
+        assert not spool.cancel(jid)
+        assert not spool.cancel("never-seen")

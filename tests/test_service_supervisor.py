@@ -1,0 +1,293 @@
+"""The supervisor: dispatch order, retry/backoff, quarantine, stop,
+process isolation and hung-worker reaping.
+
+Most tests monkeypatch ``repro.service.supervisor._execute_request``
+with a synthetic evaluator — the supervision machinery (WAL protocol,
+queueing, retries) is what is under test, not synthesis.  A few
+integration tests at the bottom run the real pipeline on the quick
+config.  Process-mode tests rely on the ``fork`` start method
+inheriting the monkeypatch into the worker.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.service import (JobRequest, RetryPolicy, Spool, Supervisor,
+                           backoff_delay)
+from repro.service import supervisor as supervisor_module
+
+QUICK = dict(flow="ours", bits=4, fault_fraction=0.25, max_sequences=4,
+             saturation=2, sequence_length=6, max_backtracks=16)
+
+
+def _submit(spool, benchmark="ex", **overrides):
+    jid, _ = spool.submit(JobRequest(benchmark=benchmark,
+                                     **{**QUICK, **overrides}))
+    return jid
+
+
+def _fake_record(request):
+    return {"format": "repro-journal-v1", "kind": "cell",
+            "benchmark": request.benchmark, "flow": request.flow,
+            "bits": request.bits, "row": {"ok": True}, "alloc": []}
+
+
+def _fast(spool, **kwargs):
+    kwargs.setdefault("retry", RetryPolicy(backoff_base=0.0))
+    kwargs.setdefault("poll_seconds", 0.01)
+    return Supervisor(spool, **kwargs)
+
+
+class TestBackoff:
+    def test_delay_is_deterministic(self):
+        policy = RetryPolicy()
+        assert backoff_delay("j", 2, policy) == backoff_delay("j", 2,
+                                                              policy)
+
+    def test_delay_grows_exponentially_and_caps(self):
+        policy = RetryPolicy(backoff_base=1.0, backoff_cap=4.0,
+                             jitter=0.0)
+        delays = [backoff_delay("j", n, policy) for n in (1, 2, 3, 4)]
+        assert delays == [1.0, 2.0, 4.0, 4.0]
+
+    def test_jitter_is_bounded_and_per_job(self):
+        policy = RetryPolicy(backoff_base=1.0, backoff_cap=100.0,
+                             jitter=0.5)
+        delay_a, delay_b = (backoff_delay(j, 1, policy) for j in "ab")
+        assert 1.0 <= delay_a <= 1.5 and 1.0 <= delay_b <= 1.5
+        assert delay_a != delay_b
+
+    def test_zero_base_means_immediate_retry(self):
+        assert backoff_delay("j", 5, RetryPolicy(backoff_base=0.0)) == 0.0
+
+
+class TestInlineDispatch:
+    def test_jobs_run_in_fifo_submit_order(self, tmp_path, monkeypatch):
+        spool = Spool(tmp_path)
+        jobs = [_submit(spool, bits=bits) for bits in (4, 8, 16)]
+        ran = []
+        monkeypatch.setattr(
+            supervisor_module, "_execute_request",
+            lambda request, cache: (ran.append(request.bits),
+                                    _fake_record(request))[1])
+        outcome = _fast(spool).run()
+        assert ran == [4, 8, 16] and outcome.done == 3
+        assert all(spool.states()[j].state == "done" for j in jobs)
+
+    def test_transient_failure_is_retried_to_success(self, tmp_path,
+                                                     monkeypatch):
+        spool = Spool(tmp_path)
+        jid = _submit(spool)
+        calls = {"n": 0}
+
+        def flaky(request, cache):
+            calls["n"] += 1
+            if calls["n"] == 1:
+                raise RuntimeError("transient")
+            return _fake_record(request)
+
+        monkeypatch.setattr(supervisor_module, "_execute_request", flaky)
+        outcome = _fast(spool).run()
+        state = spool.states()[jid]
+        assert outcome.retried == 1 and outcome.done == 1
+        assert state.state == "done" and state.attempts == 2
+
+    def test_persistent_failure_quarantines_while_queue_drains(
+            self, tmp_path, monkeypatch):
+        spool = Spool(tmp_path)
+        poison = _submit(spool, bits=4)
+        healthy = _submit(spool, bits=8)
+
+        def poisoned(request, cache):
+            if request.bits == 4:
+                raise RuntimeError("always broken")
+            return _fake_record(request)
+
+        monkeypatch.setattr(supervisor_module, "_execute_request",
+                            poisoned)
+        outcome = _fast(spool, retry=RetryPolicy(
+            max_attempts=3, backoff_base=0.0)).run()
+        states = spool.states()
+        assert states[poison].state == "quarantined"
+        assert states[poison].attempts == 3
+        assert "always broken" in states[poison].reason
+        assert states[healthy].state == "done"
+        assert outcome.quarantined == 1 and not outcome.ok()
+
+    def test_failed_job_requeues_at_the_tail(self, tmp_path, monkeypatch):
+        spool = Spool(tmp_path)
+        flaky_job = _submit(spool, bits=4)
+        steady_job = _submit(spool, bits=8)
+        ran = []
+
+        def flaky(request, cache):
+            ran.append(request.bits)
+            if request.bits == 4 and ran.count(4) == 1:
+                raise RuntimeError("transient")
+            return _fake_record(request)
+
+        monkeypatch.setattr(supervisor_module, "_execute_request", flaky)
+        _fast(spool).run()
+        # the failed 4-bit job must not starve the 8-bit one: retry at
+        # the back of the queue
+        assert ran == [4, 8, 4]
+        assert spool.states()[flaky_job].state == "done"
+        assert spool.states()[steady_job].state == "done"
+
+    def test_cancel_during_run_skips_the_dequeued_job(self, tmp_path,
+                                                      monkeypatch):
+        spool = Spool(tmp_path)
+        first = _submit(spool, bits=4)
+        second = _submit(spool, bits=8)
+
+        def cancelling(request, cache):
+            if request.bits == 4:
+                spool.cancel(second)  # lands while first is running
+            return _fake_record(request)
+
+        monkeypatch.setattr(supervisor_module, "_execute_request",
+                            cancelling)
+        outcome = _fast(spool).run()
+        assert outcome.skipped_cancelled == 1 and outcome.processed == 1
+        assert spool.states()[first].state == "done"
+        assert spool.states()[second].state == "cancelled"
+
+    def test_submissions_during_a_run_are_picked_up(self, tmp_path,
+                                                    monkeypatch):
+        spool = Spool(tmp_path)
+        _submit(spool, bits=4)
+
+        def submitting(request, cache):
+            if request.bits == 4:
+                _submit(spool, bits=8)  # a client submits mid-drain
+            return _fake_record(request)
+
+        monkeypatch.setattr(supervisor_module, "_execute_request",
+                            submitting)
+        outcome = _fast(spool).run()
+        assert outcome.done == 2 and outcome.drained
+
+    def test_resubmitting_a_done_job_is_free(self, tmp_path, monkeypatch):
+        monkeypatch.setattr(supervisor_module, "_execute_request",
+                            lambda request, cache: _fake_record(request))
+        spool = Spool(tmp_path)
+        _submit(spool)
+        assert _fast(spool).run().processed == 1
+        _submit(spool)  # identical content -> same id -> still done
+        outcome = _fast(spool).run()
+        assert outcome.processed == 0 and outcome.drained
+
+
+class TestStop:
+    def test_request_stop_finishes_current_job_then_drains(
+            self, tmp_path, monkeypatch):
+        spool = Spool(tmp_path)
+        jobs = [_submit(spool, bits=bits) for bits in (4, 8, 16)]
+        supervisor = _fast(spool)
+
+        def stopping(request, cache):
+            supervisor.request_stop("SIGTERM")
+            return _fake_record(request)
+
+        monkeypatch.setattr(supervisor_module, "_execute_request",
+                            stopping)
+        outcome = supervisor.run()
+        assert outcome.stopped_reason == "SIGTERM"
+        assert outcome.processed == 1 and not outcome.drained
+        states = spool.states()
+        assert states[jobs[0]].state == "done"
+        assert states[jobs[1]].state == states[jobs[2]].state == "submitted"
+        # a fresh supervisor finishes the remainder
+        restarted = _fast(spool).run()
+        assert restarted.done == 2 and restarted.drained
+
+    def test_keyboard_interrupt_requeues_and_stops(self, tmp_path,
+                                                   monkeypatch):
+        spool = Spool(tmp_path)
+        jid = _submit(spool)
+        calls = {"n": 0}
+
+        def interrupted(request, cache):
+            calls["n"] += 1
+            if calls["n"] == 1:
+                raise KeyboardInterrupt
+            return _fake_record(request)
+
+        monkeypatch.setattr(supervisor_module, "_execute_request",
+                            interrupted)
+        outcome = _fast(spool).run()
+        assert outcome.stopped_reason == "interrupt"
+        assert spool.states()[jid].state == "submitted"  # not charged
+        restarted = _fast(spool).run()
+        assert restarted.done == 1
+        assert spool.states()[jid].state == "done"
+
+
+class TestProcessMode:
+    def test_isolated_worker_completes_a_job(self, tmp_path, monkeypatch):
+        monkeypatch.setattr(supervisor_module, "_execute_request",
+                            lambda request, cache: _fake_record(request))
+        spool = Spool(tmp_path)
+        jid = _submit(spool)
+        outcome = _fast(spool, isolate=True).run()
+        assert outcome.done == 1
+        assert spool.states()[jid].state == "done"
+        assert spool.read_result(jid) is not None
+
+    def test_crashing_worker_is_charged_as_a_failure(self, tmp_path,
+                                                     monkeypatch):
+        def dying(request, cache):
+            raise RuntimeError("worker blew up")
+
+        monkeypatch.setattr(supervisor_module, "_execute_request", dying)
+        spool = Spool(tmp_path)
+        jid = _submit(spool)
+        outcome = _fast(spool, isolate=True, retry=RetryPolicy(
+            max_attempts=1, backoff_base=0.0)).run()
+        state = spool.states()[jid]
+        assert outcome.quarantined == 1
+        assert state.state == "quarantined"
+        assert "exited with code" in state.reason
+
+    def test_hung_worker_is_reaped_and_quarantined(self, tmp_path,
+                                                   monkeypatch):
+        def hanging(request, cache):
+            time.sleep(60)
+
+        monkeypatch.setattr(supervisor_module, "_execute_request", hanging)
+        spool = Spool(tmp_path)
+        jid = _submit(spool, deadline_seconds=0.1)
+        started = time.perf_counter()
+        outcome = _fast(spool, isolate=True, deadline_grace=1.0,
+                        reap_floor_seconds=0.3,
+                        retry=RetryPolicy(max_attempts=1,
+                                          backoff_base=0.0)).run()
+        elapsed = time.perf_counter() - started
+        state = spool.states()[jid]
+        assert outcome.reaped == 1
+        assert state.state == "quarantined"
+        assert "reaped: exceeded deadline" in state.reason
+        assert elapsed < 30  # the 60s hang did not block the queue
+
+
+@pytest.mark.slow
+class TestRealEvaluation:
+    def test_real_job_produces_a_renderable_cell(self, tmp_path):
+        spool = Spool(tmp_path)
+        jid = _submit(spool)
+        outcome = _fast(spool).run()
+        assert outcome.done == 1 and outcome.ok()
+        record = spool.read_result(jid)
+        assert record["kind"] == "cell"
+        assert record["benchmark"] == "ex" and record["row"]
+
+    def test_unknown_benchmark_quarantines_naturally(self, tmp_path):
+        spool = Spool(tmp_path)
+        jid, _ = spool.submit(JobRequest(benchmark="nope", bits=4))
+        outcome = _fast(spool, retry=RetryPolicy(
+            max_attempts=2, backoff_base=0.0)).run()
+        assert outcome.quarantined == 1
+        assert "unknown benchmark" in spool.states()[jid].reason
